@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (table or figure),
+asserts its reproduction shape checks and prints the formatted result
+so ``pytest benchmarks/ --benchmark-only -s`` shows the same rows and
+series the paper reports.
+"""
+
+import pytest
+
+
+def report(result):
+    """Print an experiment summary and assert its shape checks."""
+    print()
+    print(result.summary())
+    assert result.passed, "shape checks failed:\n%s" % result.summary()
+    return result
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run *fn* exactly once under the benchmark clock.
+
+    The experiments are deterministic, seconds-long simulations;
+    statistical repetition would only slow the harness down.
+    """
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,27 @@
+"""E8 — §3 ablation: instruction-set granularity trade-off.
+
+The paper argues granularity trades characterisation effort against
+accuracy.  This bench quantifies it on the AHB: a per-cycle macromodel
+reference vs the instruction-table (local) model vs a single coarse
+average, all calibrated on a different seed than they are evaluated on.
+"""
+
+from conftest import report
+
+from repro.analysis import run_granularity_ablation
+
+
+def test_granularity_tradeoff(run_once):
+    result = run_once(run_granularity_ablation, seed=1, training_seed=2)
+    report(result)
+    # the time-resolved accuracy gap is the point of finer granularity
+    assert result.metrics["rmse_instruction"] < \
+        result.metrics["rmse_coarse"]
+
+
+def test_instruction_table_transfers_across_seeds():
+    """An instruction table characterised on one workload seed predicts
+    another seed's total energy closely (the reuse property that makes
+    instruction-level characterisation worthwhile)."""
+    result = run_granularity_ablation(seed=4, training_seed=9)
+    assert result.metrics["error_instruction"] < 0.15

@@ -1,0 +1,35 @@
+"""E9 — Fig. 1 ablation: private vs local vs global power models.
+
+Runs the paper testbench under the three instrumentation styles and
+compares accuracy (vs the global reference) and wall-clock cost,
+reproducing the trade-off discussion of §4.
+"""
+
+from conftest import report
+
+from repro.analysis import run_model_styles_ablation
+
+
+def test_model_styles_tradeoff(run_once):
+    result = run_once(run_model_styles_ablation, seed=1)
+    report(result)
+    # every style produced energy of the same magnitude
+    energies = [result.metrics["energy_%s" % style]
+                for style in ("private", "local", "global")]
+    assert max(energies) < 2.5 * min(energies)
+
+
+def test_styles_agree_on_block_ranking():
+    """Private (event-level) and global (cycle-level) styles must agree
+    that the data-path dominates the arbiter."""
+    from repro.kernel import us
+    from repro.power import BLOCK_ARB, BLOCK_M2S
+    from repro.workloads import build_paper_testbench
+
+    for style in ("global", "private"):
+        testbench = build_paper_testbench(seed=1, monitor_style=style,
+                                          checker=False)
+        testbench.run(us(50))
+        ledger = testbench.ledger
+        assert ledger.block_energy[BLOCK_M2S] > \
+            3 * ledger.block_energy[BLOCK_ARB]

@@ -1,0 +1,28 @@
+"""E2 — Paper Figure 3: total AHB power over the first 4 us.
+
+Windowed (100 ns) power trace of the whole bus on the paper testbench.
+The reproduction target is the trace *shape*: bursty, non-trivial
+power that tracks the transfer activity, with the total bounding every
+sub-block trace.
+"""
+
+from conftest import report
+
+from repro.analysis import run_power_figure
+
+
+def test_fig3_total_power_trace(run_once):
+    result = run_once(run_power_figure, "TOTAL", seed=1)
+    report(result)
+    assert result.metrics["mean_power_w"] > 0
+    assert result.metrics["peak_power_w"] >= \
+        result.metrics["mean_power_w"]
+
+
+def test_fig3_energy_matches_ledger():
+    """The windowed trace conserves the energy the ledger accounts."""
+    result = run_power_figure("TOTAL", seed=1)
+    centers, power = result.windowed
+    window_energy = float(power.sum()) * 100e-9  # 100 ns windows
+    assert abs(window_energy - result.metrics["energy_j"]) \
+        <= 1e-6 * max(result.metrics["energy_j"], 1e-30) + 1e-18

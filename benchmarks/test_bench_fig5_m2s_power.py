@@ -1,0 +1,28 @@
+"""E4 — Paper Figure 5: masters-to-slaves multiplexer power.
+
+The M2S mux (address/control/write-data routing) is the dominant AHB
+consumer; its trace follows the transfer bursts and dwarfs the arbiter
+trace of Fig. 4.
+"""
+
+from conftest import report
+
+from repro.analysis import run_power_figure
+
+
+def test_fig5_m2s_power_trace(run_once):
+    result = run_once(run_power_figure, "M2S", seed=1)
+    report(result)
+
+
+def test_fig5_m2s_dwarfs_arbiter():
+    m2s = run_power_figure("M2S", seed=1)
+    arb = run_power_figure("ARB", seed=1)
+    assert m2s.metrics["energy_j"] > 4 * arb.metrics["energy_j"]
+    assert m2s.metrics["peak_power_w"] > 4 * arb.metrics["peak_power_w"]
+
+
+def test_fig5_m2s_is_largest_single_block():
+    m2s = run_power_figure("M2S", seed=1)
+    total = run_power_figure("TOTAL", seed=1)
+    assert m2s.metrics["energy_j"] > 0.35 * total.metrics["energy_j"]

@@ -1,0 +1,32 @@
+"""E5 — Paper Figure 6: AHB sub-block power contributions.
+
+Per-block share of the total bus energy (M2S, DEC, ARB, S2M).  The
+reproduction target is the ranking: the M2S data/control multiplexer
+dominates, the read multiplexer follows, and the decoder and arbiter
+are each minor.
+"""
+
+from conftest import report
+
+from repro.analysis import run_fig6
+from repro.power import BLOCK_ARB, BLOCK_DEC, BLOCK_M2S, BLOCK_S2M
+
+
+def test_fig6_block_contributions(run_once):
+    result = run_once(run_fig6, seed=1)
+    report(result)
+    shares = {block: result.metrics["share_%s" % block]
+              for block in (BLOCK_M2S, BLOCK_S2M, BLOCK_DEC, BLOCK_ARB)}
+    assert shares[BLOCK_M2S] > shares[BLOCK_S2M]
+    assert shares[BLOCK_S2M] > shares[BLOCK_ARB]
+    assert shares[BLOCK_S2M] > shares[BLOCK_DEC]
+
+
+def test_fig6_ranking_stable_across_seeds(run_once):
+    def sweep():
+        return [run_fig6(seed=seed) for seed in (2, 5)]
+
+    for result in run_once(sweep):
+        assert result.metrics["share_M2S"] == max(
+            result.metrics["share_%s" % block]
+            for block in ("M2S", "S2M", "DEC", "ARB"))

@@ -1,0 +1,68 @@
+"""E14 (extension) — power profiles of the paper's motivating devices.
+
+The introduction motivates low-power design with palmtops, cellular
+telephones, wireless modems and portable videogames.  This bench runs
+the three named scenarios and compares their bus power profiles —
+the architecture-level comparison a system designer would make.
+"""
+
+from repro.analysis import TextTable, format_energy
+from repro.kernel import to_seconds, us
+from repro.power import BLOCK_ARB, BLOCK_M2S
+from repro.workloads import SCENARIOS, build_scenario
+
+
+def test_scenario_power_comparison(benchmark):
+    def sweep():
+        outcomes = {}
+        for name in sorted(SCENARIOS):
+            system = build_scenario(name, seed=3)
+            system.run(us(50))
+            system.assert_protocol_clean()
+            ledger = system.ledger
+            ledger.check_conservation()
+            elapsed = to_seconds(system.sim.now)
+            outcomes[name] = {
+                "power": ledger.average_power(elapsed),
+                "energy": ledger.total_energy,
+                "txns": system.transactions_completed(),
+                "m2s_share": ledger.block_share(BLOCK_M2S),
+                "arb_share": ledger.block_share(BLOCK_ARB),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(["Scenario", "Avg power", "Energy (50us)",
+                       "Transactions", "M2S share", "ARB share"])
+    for name, data in sorted(outcomes.items()):
+        table.add_row([
+            name, "%.3f mW" % (data["power"] * 1e3),
+            format_energy(data["energy"]), data["txns"],
+            "%.1f %%" % (100 * data["m2s_share"]),
+            "%.1f %%" % (100 * data["arb_share"]),
+        ])
+    print()
+    print(table)
+
+    # structural findings hold across very different workloads:
+    for data in outcomes.values():
+        assert data["m2s_share"] > data["arb_share"]
+        assert data["txns"] > 100
+    # distinct devices -> distinct power profiles
+    powers = [data["power"] for data in outcomes.values()]
+    assert len(set(round(p, 6) for p in powers)) == len(powers)
+
+
+def test_burst_traffic_is_more_efficient_per_byte():
+    """The DMA-heavy videogame moves bytes cheaper than the CPU-bound
+    audio player: bursts amortise address/control switching."""
+    def per_byte(name):
+        system = build_scenario(name, seed=3, checker=False)
+        system.run(us(50))
+        bytes_moved = sum(
+            txn.beats * (1 << int(txn.hsize))
+            for master in system.masters for txn in master.completed)
+        return system.total_energy / bytes_moved
+
+    assert per_byte("portable-videogame") < \
+        per_byte("portable-audio-player")

@@ -1,0 +1,79 @@
+"""E13 (extension) — statistical power estimation vs simulation.
+
+The paper's related work estimates power from signal statistics without
+cycle simulation.  This bench measures how well the closed-form
+estimate (linear macromodels over expected Hamming activity) predicts
+the simulated average power — per calibration source and per scenario.
+"""
+
+from repro.analysis import TextTable
+from repro.kernel import MHz, to_seconds, us
+from repro.power import WorkloadStatistics, estimate_average_power
+from repro.workloads import SCENARIOS, build_paper_testbench, build_scenario
+
+
+def test_statistical_estimate_accuracy(benchmark):
+    def evaluate():
+        rows = []
+        errors = {}
+
+        # 1. calibrate on 5 us, predict a 50 us run (paper testbench)
+        calibration = build_paper_testbench(seed=2, checker=False)
+        calibration.run(us(5))
+        stats = WorkloadStatistics.from_monitor(calibration.monitor)
+        estimate = estimate_average_power(stats, calibration.config,
+                                          MHz(100))
+        target = build_paper_testbench(seed=1, checker=False)
+        target.run(us(50))
+        measured = target.ledger.average_power(
+            to_seconds(target.sim.now))
+        error = abs(estimate.total_power - measured) / measured
+        errors["paper-testbench"] = error
+        rows.append(("paper testbench (5us cal -> 50us)",
+                     "%.3f mW" % (measured * 1e3),
+                     "%.3f mW" % (estimate.total_power * 1e3),
+                     "%.1f %%" % (100 * error)))
+
+        # 2. every named scenario, self-calibrated on its first 5 us
+        for name in sorted(SCENARIOS):
+            calib = build_scenario(name, seed=3, checker=False)
+            calib.run(us(5))
+            stats = WorkloadStatistics.from_monitor(calib.monitor)
+            estimate = estimate_average_power(stats, calib.config,
+                                              MHz(100))
+            target = build_scenario(name, seed=4, checker=False)
+            target.run(us(50))
+            measured = target.ledger.average_power(
+                to_seconds(target.sim.now))
+            error = abs(estimate.total_power - measured) / measured
+            errors[name] = error
+            rows.append((name, "%.3f mW" % (measured * 1e3),
+                         "%.3f mW" % (estimate.total_power * 1e3),
+                         "%.1f %%" % (100 * error)))
+        return rows, errors
+
+    rows, errors = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    table = TextTable(["Workload", "Simulated", "Estimated", "Error"])
+    for row in rows:
+        table.add_row(row)
+    print()
+    print(table)
+
+    assert errors["paper-testbench"] < 0.10
+    # scenario workloads are less stationary; accept the paper's
+    # "early, cheap indication" accuracy class
+    assert all(error < 0.35 for error in errors.values())
+
+
+def test_estimate_is_cheap():
+    """The whole point: the estimate costs microseconds, not a
+    simulation."""
+    import time
+    calibration = build_paper_testbench(seed=2, checker=False)
+    calibration.run(us(5))
+    stats = WorkloadStatistics.from_monitor(calibration.monitor)
+    start = time.perf_counter()
+    for _ in range(1000):
+        estimate_average_power(stats, calibration.config, MHz(100))
+    per_call = (time.perf_counter() - start) / 1000
+    assert per_call < 1e-3

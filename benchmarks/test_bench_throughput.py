@@ -1,0 +1,67 @@
+"""E11 — infrastructure benchmarks: simulation throughput.
+
+Not a paper artefact but the quantity that makes the methodology usable:
+"the simulation of a complete SoC ... can be several hundreds times
+faster than an RTL simulation".  Tracks kernel cycles/second, bus
+transfer throughput and gate-level vectors/second.
+"""
+
+from repro.gatelevel import GateLevelSimulator, synth_mux
+from repro.kernel import Clock, MHz, Signal, Simulator, us
+from repro.workloads import build_paper_testbench
+
+
+def test_kernel_cycle_throughput(benchmark):
+    """Raw kernel: one clocked method process counting edges."""
+    def run():
+        sim = Simulator()
+        clk = Clock.from_frequency(sim, "clk", MHz(100))
+        count = Signal(sim, "count", width=32)
+        sim.add_method(lambda: count.write(count.value + 1),
+                       [clk.posedge], initialize=False)
+        sim.run(until=us(200))
+        return count.value
+
+    cycles = benchmark(run)
+    assert cycles == 20_000
+
+
+def test_bus_simulation_throughput(benchmark):
+    """Full paper testbench with power analysis (the common case)."""
+    def run():
+        testbench = build_paper_testbench(seed=1, checker=False)
+        testbench.run(us(50))
+        return testbench.ledger.cycles
+
+    cycles = benchmark(run)
+    assert cycles == 5_000
+
+
+def test_bus_functional_only_throughput(benchmark):
+    """POWERTEST off: the fast architectural-exploration mode."""
+    def run():
+        testbench = build_paper_testbench(seed=1, checker=False,
+                                          power_analysis=False)
+        testbench.run(us(50))
+        return testbench.transactions_completed()
+
+    transactions = benchmark(run)
+    assert transactions > 1000
+
+
+def test_gate_level_vector_throughput(benchmark):
+    """Gate-level characterisation speed (vectors/second)."""
+    netlist = synth_mux(4, 32)
+    simulator = GateLevelSimulator(netlist)
+    vectors = [
+        {"d0": (17 * k) & 0xFFFFFFFF, "d1": 0, "d2": k, "d3": ~k,
+         "s": k % 4}
+        for k in range(200)
+    ]
+
+    def run():
+        for vector in vectors:
+            simulator.step_ints(**vector)
+        return simulator.steps
+
+    benchmark(run)

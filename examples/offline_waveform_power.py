@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Offline power analysis: record a waveform once, analyse it many times.
+
+Workflow:
+
+1. run the functional model at full speed (POWERTEST off — zero power
+   code) while dumping the bus signals to a VCD file;
+2. replay the recorded waveform through the macromodels under several
+   technology corners (nominal, low-voltage, scaled process) without
+   re-simulating;
+3. cross-check the replay against a live-instrumented run.
+
+This is the workflow a team uses when functional simulations are
+expensive and power questions keep changing.
+
+Run:  python examples/offline_waveform_power.py
+"""
+
+import os
+import tempfile
+
+from repro.analysis import TextTable, block_contribution_table
+from repro.kernel import load_vcd, us
+from repro.power import (
+    OfflinePowerAnalyzer,
+    PAPER_TECHNOLOGY,
+    TECH_180NM,
+    trace_bus,
+)
+from repro.workloads import build_paper_testbench
+
+
+def record(path, duration):
+    print("recording %d us of bus activity (functional-only run)..."
+          % (duration / 1_000_000))
+    testbench = build_paper_testbench(seed=1, power_analysis=False)
+    tracer = trace_bus(testbench.sim, testbench.bus, path)
+    testbench.run(duration)
+    tracer.close()
+    testbench.assert_protocol_clean()
+    size_kb = os.path.getsize(path) / 1024
+    print("  -> %s (%.0f KiB, %d transactions)"
+          % (path, size_kb, testbench.transactions_completed()))
+    return testbench.config
+
+
+def main():
+    duration = us(50)
+    with tempfile.TemporaryDirectory() as tmp:
+        vcd_path = os.path.join(tmp, "bus.vcd")
+        config = record(vcd_path, duration)
+
+        vcd = load_vcd(vcd_path)
+        print("parsed %d signals, %.0f us of activity"
+              % (len(vcd.names()), vcd.end_time / 1_000_000))
+        print()
+
+        corners = [
+            ("nominal 0.35um @ 3.3V", PAPER_TECHNOLOGY),
+            ("low-voltage @ 2.5V",
+             PAPER_TECHNOLOGY.scaled(vdd=2.5, name="lv")),
+            ("0.18um shrink @ 1.8V", TECH_180NM),
+        ]
+        table = TextTable(["Corner", "Total energy", "Avg power"])
+        ledgers = {}
+        for label, params in corners:
+            analyzer = OfflinePowerAnalyzer(config, params=params)
+            ledger = analyzer.analyze(vcd, clock_period_ps=10_000,
+                                      first_edge_ps=5_000)
+            ledgers[label] = ledger
+            seconds = duration * 1e-12
+            table.add_row([
+                label,
+                "%.2f nJ" % (ledger.total_energy * 1e9),
+                "%.3f mW" % (ledger.average_power(seconds) * 1e3),
+            ])
+        print("Technology what-if from one recording:")
+        print(table)
+        print()
+
+        print("Block breakdown at the nominal corner:")
+        print(block_contribution_table(ledgers[corners[0][0]]))
+        print()
+
+        # cross-check: live monitor on an identical run
+        live = build_paper_testbench(seed=1, power_analysis=True)
+        live.run(duration)
+        offline_total = ledgers[corners[0][0]].total_energy
+        live_total = live.ledger.total_energy
+        error = abs(offline_total - live_total) / live_total
+        print("offline replay vs live monitor: %.2f%% difference"
+              % (100 * error))
+        assert error < 0.03
+
+
+if __name__ == "__main__":
+    main()

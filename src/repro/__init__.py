@@ -1,0 +1,83 @@
+"""repro — system-level power analysis of the AMBA AHB bus.
+
+Reproduction of Caldari et al., "System-Level Power Analysis Methodology
+Applied to the AMBA AHB Bus" (DATE 2003).
+
+Subpackages
+-----------
+``repro.kernel``
+    Event-driven delta-cycle simulation kernel (SystemC substitute).
+``repro.amba``
+    Cycle-accurate AMBA AHB bus model (arbiter, decoder, muxes,
+    masters, slaves, protocol checker, APB bridge).
+``repro.gatelevel``
+    Gate-level netlists, synthesis generators and a switching-activity
+    energy simulator (Berkeley SIS substitute).
+``repro.power``
+    The paper's contribution: activity monitoring, energy macromodels,
+    the bus instruction set and power FSM, power-model styles, energy
+    ledger and power traces.
+``repro.workloads``
+    Traffic patterns and the paper's 2-master/3-slave testbench.
+``repro.analysis``
+    Tables, ASCII plots and one experiment runner per paper artefact.
+"""
+
+__version__ = "1.0.0"
+
+from .amba import (  # noqa: E402
+    AhbBus,
+    AhbConfig,
+    AhbMaster,
+    AhbProtocolChecker,
+    AhbTransaction,
+    Arbitration,
+    DefaultMaster,
+    MemorySlave,
+)
+from .kernel import Clock, MHz, Module, Signal, Simulator, ns, us  # noqa: E402
+from .power import (  # noqa: E402
+    Activity,
+    ArbiterEnergyModel,
+    DecoderEnergyModel,
+    EnergyLedger,
+    GlobalPowerMonitor,
+    LocalPowerMonitor,
+    MuxEnergyModel,
+    PAPER_TECHNOLOGY,
+    PowerFsm,
+    PrivatePowerMonitor,
+    TechnologyParameters,
+)
+from .workloads import AhbSystem, build_paper_testbench  # noqa: E402
+
+__all__ = [
+    "Activity",
+    "AhbBus",
+    "AhbConfig",
+    "AhbMaster",
+    "AhbProtocolChecker",
+    "AhbSystem",
+    "AhbTransaction",
+    "ArbiterEnergyModel",
+    "Arbitration",
+    "Clock",
+    "DecoderEnergyModel",
+    "DefaultMaster",
+    "EnergyLedger",
+    "GlobalPowerMonitor",
+    "LocalPowerMonitor",
+    "MHz",
+    "MemorySlave",
+    "Module",
+    "MuxEnergyModel",
+    "PAPER_TECHNOLOGY",
+    "PowerFsm",
+    "PrivatePowerMonitor",
+    "Signal",
+    "Simulator",
+    "TechnologyParameters",
+    "build_paper_testbench",
+    "ns",
+    "us",
+]

@@ -1,0 +1,76 @@
+"""Cycle-accurate AMBA AHB bus model (AMBA spec rev 2.0 subset).
+
+The package provides the paper's structural decomposition of the AHB —
+arbiter, address decoder, M2S and S2M multiplexers — plus master and
+slave bus-functional models, a protocol checker and an AHB→APB bridge.
+"""
+
+from .apb import ApbBridge, ApbRegisterSlave
+from .arbiter import Arbiter
+from .bridge import AhbToAhbBridge
+from .bus import AhbBus
+from .checker import AhbProtocolChecker, ProtocolViolation
+from .config import AddressMap, AddressRegion, AhbConfig, Arbitration
+from .decoder import Decoder
+from .master import AhbMaster, DefaultMaster, TrafficSource
+from .mux import MasterToSlaveMux, SlaveToMasterMux
+from .ports import MasterPort, SlavePort
+from .slave import (
+    AhbSlaveBase,
+    DefaultSlave,
+    MemorySlave,
+    SplitCapableSlave,
+)
+from .transactions import AhbTransaction, Beat
+from .types import (
+    HBURST,
+    HRESP,
+    HSIZE,
+    HTRANS,
+    aligned,
+    burst_addresses,
+    burst_beats,
+    is_active,
+    is_wrapping,
+    next_burst_address,
+    size_bytes,
+)
+
+__all__ = [
+    "AddressMap",
+    "AddressRegion",
+    "AhbBus",
+    "AhbConfig",
+    "AhbMaster",
+    "AhbProtocolChecker",
+    "AhbSlaveBase",
+    "AhbToAhbBridge",
+    "AhbTransaction",
+    "ApbBridge",
+    "ApbRegisterSlave",
+    "Arbiter",
+    "Arbitration",
+    "Beat",
+    "Decoder",
+    "DefaultMaster",
+    "DefaultSlave",
+    "HBURST",
+    "HRESP",
+    "HSIZE",
+    "HTRANS",
+    "MasterPort",
+    "MasterToSlaveMux",
+    "MemorySlave",
+    "ProtocolViolation",
+    "SlavePort",
+    "SlaveToMasterMux",
+    "SplitCapableSlave",
+    "TrafficSource",
+    "aligned",
+    "burst_addresses",
+    "burst_beats",
+    "is_active",
+    "is_wrapping",
+    "next_burst_address",
+    "size_bytes",
+]

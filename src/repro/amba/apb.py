@@ -1,0 +1,181 @@
+"""AHB→APB bridge and APB peripherals.
+
+The paper situates the AHB inside the usual AMBA topology: a
+high-performance system bus plus "a bridge to the lower bandwidth APB,
+where most of the system peripheral devices are located".  This module
+provides that subsystem:
+
+* :class:`ApbBridge` — an AHB slave that converts each AHB transfer
+  into an APB access (SETUP then ENABLE cycle, AMBA rev 2.0 §5),
+  inserting AHB wait states while the APB transaction runs;
+* :class:`ApbRegisterSlave` — a simple register-bank peripheral.
+
+The bridge runs the APB off the AHB clock (PCLK = HCLK), which is the
+configuration the AMBA spec describes for rev 2.0 APB.
+"""
+
+from __future__ import annotations
+
+from ..kernel import Module, Signal
+from .slave import AhbSlaveBase
+from .types import HRESP, size_bytes
+
+
+class ApbPort:
+    """Per-peripheral APB signal bundle."""
+
+    def __init__(self, sim, name, data_width=32, addr_width=32):
+        self.name = name
+        self.psel = Signal(sim, name + ".PSEL", init=0, width=1)
+        self.prdata = Signal(sim, name + ".PRDATA", init=0, width=data_width)
+
+
+class ApbBridge(AhbSlaveBase):
+    """AHB slave that forwards transfers onto an APB segment.
+
+    Parameters
+    ----------
+    apb_map:
+        List of ``(base, size)`` tuples, one per peripheral, decoded
+        against the AHB address *offset within the bridge's region*
+        after masking with ``offset_mask``.
+    offset_mask:
+        Mask applied to the AHB address before APB decoding (strips the
+        bridge's own base address).  Default keeps the low 16 bits.
+    """
+
+    #: AHB wait states per APB access: one arming cycle, one SETUP
+    #: cycle, one ENABLE cycle; the transfer completes on the next edge.
+    APB_WAIT_STATES = 3
+
+    def __init__(self, sim, name, clk, port, bus, apb_map,
+                 offset_mask=0xFFFF, parent=None):
+        super().__init__(sim, name, clk, port, bus, parent=parent)
+        self.offset_mask = offset_mask
+        self.apb_map = list(apb_map)
+
+        prefix = self.name + "."
+        self.paddr = Signal(sim, prefix + "PADDR", init=0, width=32)
+        self.pwrite = Signal(sim, prefix + "PWRITE", init=0, width=1)
+        self.penable = Signal(sim, prefix + "PENABLE", init=0, width=1)
+        self.pwdata = Signal(sim, prefix + "PWDATA", init=0,
+                             width=bus.config.data_width)
+        self.apb_ports = [
+            ApbPort(sim, prefix + "P%d" % index,
+                    data_width=bus.config.data_width)
+            for index in range(len(self.apb_map))
+        ]
+
+        self._apb_state = "idle"
+        self._apb_transfer = None
+        self._apb_target = None
+        self.apb_accesses = 0
+        # Registered after the base class FSM, so it observes
+        # _begin_transfer results from the same clock edge.
+        self.method(self._apb_fsm, [clk.posedge], name="apb_fsm",
+                    initialize=False)
+
+    # -- AHB slave hooks ---------------------------------------------------
+
+    def _decode_apb(self, offset):
+        for index, (base, size) in enumerate(self.apb_map):
+            if base <= offset < base + size:
+                return index
+        return None
+
+    def _begin_transfer(self, transfer):
+        offset = transfer.address & self.offset_mask
+        target = self._decode_apb(offset)
+        if target is None:
+            return (0, HRESP.ERROR)
+        self._apb_transfer = transfer
+        self._apb_target = target
+        self._apb_state = "queued"
+        return (self.APB_WAIT_STATES, HRESP.OKAY)
+
+    def _do_read(self, address, size):
+        # Called on the completion edge; the ENABLE cycle has just
+        # finished, so the selected peripheral's PRDATA is committed.
+        port = self.apb_ports[self._apb_target]
+        mask = (1 << (8 * size_bytes(size))) - 1
+        return port.prdata.value & mask
+
+    def _do_write(self, address, size, value):
+        # The write already happened on the APB during the ENABLE
+        # cycle; nothing to do on the AHB side.
+        pass
+
+    # -- APB state machine ----------------------------------------------------
+
+    def _apb_fsm(self):
+        if self._apb_state == "queued":
+            # This runs on the same edge as _begin_transfer; the AHB
+            # write data is not committed yet, so spend one arming
+            # cycle before presenting SETUP.
+            self._apb_state = "arm"
+        elif self._apb_state == "arm":
+            # AHB write data became visible this cycle; present SETUP.
+            transfer = self._apb_transfer
+            self.paddr.write(transfer.address & self.offset_mask)
+            self.pwrite.write(1 if transfer.write else 0)
+            if transfer.write:
+                self.pwdata.write(self.bus.hwdata.value)
+            for index, port in enumerate(self.apb_ports):
+                port.psel.write(1 if index == self._apb_target else 0)
+            self.penable.write(0)
+            self._apb_state = "setup"
+        elif self._apb_state == "setup":
+            self.penable.write(1)
+            self._apb_state = "enable"
+        elif self._apb_state == "enable":
+            for port in self.apb_ports:
+                port.psel.write(0)
+            self.penable.write(0)
+            self._apb_state = "idle"
+            self._apb_transfer = None
+            self.apb_accesses += 1
+
+
+class ApbRegisterSlave(Module):
+    """A word-addressed APB register bank.
+
+    Reads are combinational (PRDATA valid during SETUP and ENABLE);
+    writes commit on the clock edge that ends the ENABLE cycle.
+    """
+
+    def __init__(self, sim, name, clk, bridge, port_index, n_registers=64,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.bridge = bridge
+        self.port = bridge.apb_ports[port_index]
+        self.base = bridge.apb_map[port_index][0]
+        self.n_registers = n_registers
+        self.regs = [0] * n_registers
+        self.write_count = 0
+        self.read_count = 0
+        self.method(
+            self._drive_prdata,
+            [self.port.psel, bridge.paddr, bridge.pwrite],
+            name="drive_prdata",
+        )
+        self.method(self._on_clk, [clk.posedge], name="write_regs",
+                    initialize=False)
+
+    def _reg_index(self, paddr):
+        return ((paddr - self.base) // 4) % self.n_registers
+
+    def _drive_prdata(self):
+        if self.port.psel.value and not self.bridge.pwrite.value:
+            self.port.prdata.write(
+                self.regs[self._reg_index(self.bridge.paddr.value)]
+            )
+
+    def _on_clk(self):
+        if self.port.psel.value and self.bridge.penable.value:
+            if self.bridge.pwrite.value:
+                index = self._reg_index(self.bridge.paddr.value)
+                self.regs[index] = self.bridge.pwdata.value
+                self.write_count += 1
+            else:
+                self.read_count += 1

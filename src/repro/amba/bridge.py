@@ -1,0 +1,108 @@
+"""AHB-to-AHB bridge: hierarchical bus systems.
+
+Large SoCs split the interconnect into segments — a fast CPU/memory
+bus and one or more peripheral or subsystem buses — joined by bridges.
+:class:`AhbToAhbBridge` is an AHB **slave** on the upstream bus and
+drives an AHB **master** port on the downstream bus: each upstream
+transfer stalls (``HREADYOUT=0``) while an equivalent single transfer
+runs downstream, then completes with the downstream response.
+
+The two buses may run on different clocks; the bridge hands results
+across via completion callbacks, so no common clock is assumed (the
+model's analogue of a synchronising bridge).
+"""
+
+from __future__ import annotations
+
+from .master import AhbMaster
+from .slave import AhbSlaveBase
+from .transactions import AhbTransaction
+from .types import HRESP, HSIZE
+
+
+class AhbToAhbBridge(AhbSlaveBase):
+    """Bridges an upstream AHB slave port to a downstream AHB master.
+
+    Parameters
+    ----------
+    clk:
+        The *upstream* bus clock (drives the slave-side FSM).
+    port, bus:
+        Upstream slave port and bus.
+    downstream_bus:
+        The target :class:`~repro.amba.bus.AhbBus`.
+    downstream_port_index:
+        Which downstream master port the bridge drives.
+    translate:
+        ``fn(upstream_address) -> downstream_address``; defaults to
+        identity.  Use it to re-base the upstream window onto the
+        downstream map.
+    """
+
+    def __init__(self, sim, name, clk, port, bus, downstream_bus,
+                 downstream_port_index=0, translate=None, parent=None):
+        super().__init__(sim, name, clk, port, bus, parent=parent)
+        self.downstream_bus = downstream_bus
+        self.translate = translate or (lambda address: address)
+        self.master = AhbMaster(
+            sim, "downstream_master", downstream_bus.clk,
+            downstream_bus.master_ports[downstream_port_index],
+            downstream_bus, parent=self,
+        )
+        self._forward_pending = None
+        self._forward_armed = None
+        self.forwarded = 0
+        self.method(self._forward, [clk.posedge], name="forward",
+                    initialize=False)
+
+    # -- upstream slave hooks ------------------------------------------
+
+    def _begin_transfer(self, transfer):
+        # The write data is not on the upstream bus yet (it arrives in
+        # the data phase); defer building the downstream transaction
+        # one cycle.
+        self._forward_pending = transfer
+        return (None, HRESP.OKAY)
+
+    def _do_read(self, address, size):
+        return self._stall_rdata
+
+    def _do_write(self, address, size, value):
+        # Already committed downstream when the stall finished.
+        pass
+
+    # -- forwarding ------------------------------------------------------
+
+    def _forward(self):
+        # Two-stage: _begin_transfer runs on the acceptance edge, but
+        # the upstream write data only commits on the following one.
+        transfer = self._forward_armed
+        self._forward_armed = self._forward_pending
+        self._forward_pending = None
+        if transfer is None:
+            return
+        address = self.translate(transfer.address)
+        size = HSIZE(transfer.size)
+        if transfer.write:
+            txn = AhbTransaction(True, address,
+                                 data=[self.bus.hwdata.value],
+                                 hsize=size)
+        else:
+            txn = AhbTransaction(False, address, hsize=size)
+        txn_ref = txn
+
+        def on_complete(completed):
+            if completed is not txn_ref:  # pragma: no cover - safety
+                return
+            if completed.error:
+                self._finish_stall(HRESP.ERROR)
+            elif completed.write:
+                self._finish_stall(HRESP.OKAY)
+            else:
+                self._finish_stall(HRESP.OKAY,
+                                   rdata=completed.rdata[0])
+            self.forwarded += 1
+            self.master.on_complete.remove(on_complete)
+
+        self.master.on_complete.append(on_complete)
+        self.master.enqueue(txn)

@@ -1,0 +1,132 @@
+"""The AHB bus fabric.
+
+:class:`AhbBus` instantiates the paper's structural decomposition
+(Fig. 2): the arbiter, the address decoder, the masters-to-slaves
+multiplexer and the slaves-to-masters multiplexer, plus the
+spec-required default slave.  Masters and slaves connect through the
+port bundles the bus creates for them.
+
+Typical assembly::
+
+    sim = Simulator()
+    clk = Clock.from_frequency(sim, "clk", MHz(100))
+    config = AhbConfig.with_uniform_map(n_masters=3, n_slaves=3)
+    bus = AhbBus(sim, "ahb", clk, config)
+    masters = [AhbMaster(sim, "m%d" % i, clk, bus.master_ports[i], bus)
+               for i in range(2)]
+    default = DefaultMaster(sim, "dm", clk, bus.master_ports[2], bus)
+    slaves = [MemorySlave(sim, "s%d" % i, clk, bus.slave_ports[i], bus)
+              for i in range(3)]
+"""
+
+from __future__ import annotations
+
+from ..kernel import Module, Signal
+from .arbiter import Arbiter
+from .config import AhbConfig
+from .decoder import Decoder
+from .mux import MasterToSlaveMux, SlaveToMasterMux
+from .ports import MasterPort, SlavePort
+from .slave import DefaultSlave
+from .types import HRESP, HTRANS
+
+
+class AhbBus(Module):
+    """The AMBA AHB interconnect.
+
+    Exposes the shared (multiplexed) bus signals as attributes —
+    ``htrans``, ``haddr``, ``hwrite``, ``hsize``, ``hburst``, ``hprot``,
+    ``hwdata``, ``hrdata``, ``hready``, ``hresp`` — and per-master /
+    per-slave port bundles in :attr:`master_ports` / :attr:`slave_ports`.
+    """
+
+    def __init__(self, sim, name, clk, config=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.config = config or AhbConfig()
+        cfg = self.config
+
+        # -- shared bus signals (multiplexer outputs) --------------------
+        prefix = self.name + "."
+        self.htrans = Signal(sim, prefix + "HTRANS",
+                             init=int(HTRANS.IDLE), width=2)
+        self.haddr = Signal(sim, prefix + "HADDR", init=0,
+                            width=cfg.addr_width)
+        self.hwrite = Signal(sim, prefix + "HWRITE", init=0, width=1)
+        self.hsize = Signal(sim, prefix + "HSIZE", init=0, width=3)
+        self.hburst = Signal(sim, prefix + "HBURST", init=0, width=3)
+        self.hprot = Signal(sim, prefix + "HPROT", init=0, width=4)
+        self.hwdata = Signal(sim, prefix + "HWDATA", init=0,
+                             width=cfg.data_width)
+        self.hrdata = Signal(sim, prefix + "HRDATA", init=0,
+                             width=cfg.data_width)
+        self.hready = Signal(sim, prefix + "HREADY", init=1, width=1)
+        self.hresp = Signal(sim, prefix + "HRESP",
+                            init=int(HRESP.OKAY), width=2)
+
+        # -- ports ---------------------------------------------------------
+        self.master_ports = [
+            MasterPort(sim, prefix + "M%d" % index,
+                       data_width=cfg.data_width,
+                       addr_width=cfg.addr_width)
+            for index in range(cfg.n_masters)
+        ]
+        self.slave_ports = [
+            SlavePort(sim, prefix + "S%d" % index,
+                      data_width=cfg.data_width)
+            for index in range(cfg.n_slaves)
+        ]
+        self.default_slave_port = SlavePort(sim, prefix + "SDEF",
+                                            data_width=cfg.data_width)
+
+        # -- sub-blocks (the paper's Fig. 2 decomposition) -----------------
+        self.arbiter = Arbiter(
+            sim, "arbiter", clk, self.master_ports,
+            bus_htrans=self.htrans, bus_hready=self.hready,
+            bus_hburst=self.hburst, bus_hresp=self.hresp,
+            split_inputs=[port.hsplit for port in self.slave_ports],
+            policy=cfg.arbitration, default_master=cfg.default_master,
+            tdma_slot_cycles=cfg.tdma_slot_cycles,
+            parent=self,
+        )
+        self.decoder = Decoder(
+            sim, "decoder", clk, self.haddr, self.slave_ports,
+            self.default_slave_port, cfg.address_map, parent=self,
+        )
+        self.m2s_mux = MasterToSlaveMux(
+            sim, "m2s_mux", clk, self.master_ports,
+            hmaster=self.arbiter.hmaster, hmaster_d=self.arbiter.hmaster_d,
+            bus=self, parent=self,
+        )
+        self.s2m_mux = SlaveToMasterMux(
+            sim, "s2m_mux", clk, self.slave_ports, self.default_slave_port,
+            decoder_selected=self.decoder.selected_index, bus=self,
+            parent=self,
+        )
+        self.default_slave = DefaultSlave(
+            sim, "default_slave", clk, self.default_slave_port, self,
+            parent=self,
+        )
+
+    # -- convenience accessors --------------------------------------------
+
+    @property
+    def hmaster(self):
+        """Address-phase owner signal (lives in the arbiter)."""
+        return self.arbiter.hmaster
+
+    @property
+    def hmaster_d(self):
+        """Data-phase owner signal (lives in the arbiter)."""
+        return self.arbiter.hmaster_d
+
+    def shared_signals(self):
+        """The multiplexed bus signals, for tracing and monitoring."""
+        return (self.htrans, self.haddr, self.hwrite, self.hsize,
+                self.hburst, self.hprot, self.hwdata, self.hrdata,
+                self.hready, self.hresp)
+
+    def address_control_signals(self):
+        """The M2S address/control outputs (decoder + slave inputs)."""
+        return (self.htrans, self.haddr, self.hwrite, self.hsize,
+                self.hburst, self.hprot)

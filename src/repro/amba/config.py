@@ -1,0 +1,167 @@
+"""Bus configuration: geometry, address map and arbitration policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Arbitration:
+    """Arbitration policy names accepted by :class:`AhbConfig`."""
+
+    FIXED_PRIORITY = "fixed-priority"
+    ROUND_ROBIN = "round-robin"
+    TDMA = "tdma"
+
+    ALL = (FIXED_PRIORITY, ROUND_ROBIN, TDMA)
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A decoded slave region ``[base, base + size)``.
+
+    AHB decoders select at most one slave per address; regions must not
+    overlap (checked by :class:`AddressMap`).
+    """
+
+    base: int
+    size: int
+    slave_index: int
+    name: str = ""
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("region size must be positive: %r" % self.size)
+        if self.base < 0:
+            raise ValueError("region base must be non-negative")
+
+    @property
+    def end(self):
+        """One past the last decoded address."""
+        return self.base + self.size
+
+    def contains(self, address):
+        """True when *address* decodes into this region."""
+        return self.base <= address < self.end
+
+
+class AddressMap:
+    """Ordered, overlap-checked set of :class:`AddressRegion`.
+
+    >>> amap = AddressMap()
+    >>> amap.add(0x0000_0000, 0x1000, 0, name="rom")
+    >>> amap.decode(0x10)
+    0
+    >>> amap.decode(0x2000) is None
+    True
+    """
+
+    def __init__(self, regions=()):
+        self.regions = []
+        for region in regions:
+            self._insert(region)
+
+    def add(self, base, size, slave_index, name=""):
+        """Add a region; returns the created :class:`AddressRegion`."""
+        region = AddressRegion(base, size, slave_index, name)
+        self._insert(region)
+        return region
+
+    def _insert(self, region):
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    "region %r overlaps %r" % (region, existing)
+                )
+        self.regions.append(region)
+
+    def decode(self, address):
+        """Return the slave index owning *address*, or ``None``."""
+        for region in self.regions:
+            if region.contains(address):
+                return region.slave_index
+        return None
+
+    def region_of(self, address):
+        """Return the :class:`AddressRegion` owning *address* or ``None``."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    @property
+    def slave_indices(self):
+        """Sorted tuple of slave indices referenced by the map."""
+        return tuple(sorted({region.slave_index for region in self.regions}))
+
+    def __len__(self):
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+
+@dataclass
+class AhbConfig:
+    """Static configuration of an :class:`~repro.amba.bus.AhbBus`.
+
+    Parameters mirror the paper's "IP typical parameters": data and
+    address bus width, number of masters and slaves, and the arbitration
+    scheme.  ``default_master`` names the master granted when nobody
+    requests the bus (the paper's "simple default master").
+    """
+
+    n_masters: int = 3
+    n_slaves: int = 3
+    data_width: int = 32
+    addr_width: int = 32
+    arbitration: str = Arbitration.FIXED_PRIORITY
+    default_master: int = 0
+    address_map: AddressMap = field(default_factory=AddressMap)
+    #: Slot length (bus cycles) for TDMA arbitration.
+    tdma_slot_cycles: int = 8
+
+    def __post_init__(self):
+        if self.n_masters < 1:
+            raise ValueError("need at least one master")
+        if self.n_slaves < 1:
+            raise ValueError("need at least one slave")
+        if self.n_masters > 16:
+            raise ValueError("AHB supports at most 16 masters")
+        if self.data_width not in (8, 16, 32, 64, 128, 256, 512, 1024):
+            raise ValueError("invalid AHB data width %r" % self.data_width)
+        if not 0 <= self.default_master < self.n_masters:
+            raise ValueError(
+                "default master %r out of range" % self.default_master
+            )
+        if self.arbitration not in Arbitration.ALL:
+            raise ValueError(
+                "unknown arbitration policy %r (expected one of %s)"
+                % (self.arbitration, ", ".join(Arbitration.ALL))
+            )
+        if self.tdma_slot_cycles < 1:
+            raise ValueError("TDMA slots need at least one cycle")
+        for region in self.address_map:
+            if not 0 <= region.slave_index < self.n_slaves:
+                raise ValueError(
+                    "address region %r references slave %d outside 0..%d"
+                    % (region, region.slave_index, self.n_slaves - 1)
+                )
+
+    @classmethod
+    def with_uniform_map(cls, n_masters=3, n_slaves=3, region_size=0x1000,
+                         **kwargs):
+        """Build a config whose slaves get consecutive equal regions."""
+        amap = AddressMap()
+        for index in range(n_slaves):
+            amap.add(index * region_size, region_size, index,
+                     name="slave%d" % index)
+        return cls(n_masters=n_masters, n_slaves=n_slaves,
+                   address_map=amap, **kwargs)
+
+    def slave_base(self, slave_index):
+        """Return the lowest base address mapped to *slave_index*."""
+        bases = [region.base for region in self.address_map
+                 if region.slave_index == slave_index]
+        if not bases:
+            raise KeyError("slave %d has no mapped region" % slave_index)
+        return min(bases)

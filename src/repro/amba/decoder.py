@@ -1,0 +1,60 @@
+"""AHB address decoder.
+
+Combinationally turns the bus address into a one-hot ``HSELx`` vector
+using the configured :class:`~repro.amba.config.AddressMap`.  Addresses
+that fall outside every mapped region select the *default slave* (spec
+rev 2.0 §3.8), which OKAYs idle transfers and ERRORs active ones.
+"""
+
+from __future__ import annotations
+
+from ..kernel import Module
+
+
+class Decoder(Module):
+    """One-hot address decoder.
+
+    Parameters
+    ----------
+    clk:
+        Unused by the logic (the decoder is purely combinational) but
+        kept for structural symmetry with the other sub-blocks.
+    bus_haddr:
+        Fabric address signal (M2S multiplexer output).
+    slave_ports:
+        User slaves, indexed as in the address map.
+    default_port:
+        The default slave's port, selected for unmapped addresses.
+    address_map:
+        :class:`~repro.amba.config.AddressMap`.
+    """
+
+    def __init__(self, sim, name, clk, bus_haddr, slave_ports, default_port,
+                 address_map, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.bus_haddr = bus_haddr
+        self.slave_ports = list(slave_ports)
+        self.default_port = default_port
+        self.address_map = address_map
+        #: Index of the currently selected slave (len == default slave).
+        self.selected_index = self.signal("selected", init=len(slave_ports),
+                                          width=8)
+        self.method(self._decode, [bus_haddr], name="decode")
+
+    def _decode(self):
+        """Drive the one-hot HSEL vector for the current address."""
+        target = self.address_map.decode(self.bus_haddr.value)
+        if target is None:
+            target = len(self.slave_ports)
+        for index, port in enumerate(self.slave_ports):
+            port.hsel.write(1 if index == target else 0)
+        self.default_port.hsel.write(
+            1 if target == len(self.slave_ports) else 0
+        )
+        self.selected_index.write(target)
+
+    @property
+    def n_outputs(self):
+        """Number of decoder outputs (user slaves + default slave)."""
+        return len(self.slave_ports) + 1

@@ -1,0 +1,304 @@
+"""AHB master bus-functional model (BFM).
+
+The master executes :class:`~repro.amba.transactions.AhbTransaction`
+objects from an explicit queue or pulled on demand from a traffic
+source (see :mod:`repro.workloads`).  It is written exactly like RTL:
+one sequential process on the bus clock, registered outputs, and the
+pipelined address/data-phase discipline of the AMBA spec:
+
+* an address phase presented in cycle *k* is accepted at the edge that
+  ends cycle *k* when ``HREADY`` is high and enters its data phase in
+  cycle *k+1*;
+* all outputs are held while ``HREADY`` is low;
+* on a first RETRY/SPLIT/ERROR response cycle (``HREADY=0``,
+  ``HRESP != OKAY``) the master cancels the following transfer by
+  driving IDLE (spec rev 2.0 §3.9.3);
+* a RETRY or SPLIT completion re-issues the failed beat; an ERROR
+  completion aborts the remaining beats of the transaction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..kernel import Module
+from .transactions import Beat
+from .types import HRESP, HTRANS
+
+
+class TrafficSource:
+    """Interface pulled by a master when its queue runs dry.
+
+    Subclasses implement :meth:`next_transaction`, returning a new
+    :class:`AhbTransaction` or ``None`` when (currently) out of work.
+    """
+
+    def next_transaction(self, now):  # pragma: no cover - interface
+        """Return the next transaction to issue, or ``None``."""
+        raise NotImplementedError
+
+
+class AhbMaster(Module):
+    """A pipelined AHB master.
+
+    Parameters
+    ----------
+    sim, name, parent:
+        Kernel module plumbing.
+    clk:
+        Bus clock.
+    port:
+        The master's :class:`~repro.amba.ports.MasterPort`.
+    bus:
+        The :class:`~repro.amba.bus.AhbBus` fabric (for the shared
+        ``HREADY``/``HRESP``/``HRDATA`` signals).
+    source:
+        Optional :class:`TrafficSource` pulled when the queue is empty.
+    """
+
+    def __init__(self, sim, name, clk, port, bus, source=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.port = port
+        self.bus = bus
+        self.source = source
+
+        self._queue = deque()
+        self._current = None
+        self._beat_index = 0
+        self._busy_remaining = 0
+        self._idle_countdown = 0
+        self._addr_beat = None
+        self._data_beat = None
+
+        #: Completed transactions, in completion order.
+        self.completed = []
+        #: Callbacks invoked as ``fn(transaction)`` on completion.
+        self.on_complete = []
+        #: Statistics.
+        self.beats_completed = 0
+        self.wait_cycles = 0
+        self.busy_cycles = 0
+        self.idle_owned_cycles = 0
+
+        self.method(self._on_clk, [clk.posedge], name="fsm",
+                    initialize=False)
+
+    # -- public API ------------------------------------------------------
+
+    def enqueue(self, transaction):
+        """Queue *transaction* for execution; returns the transaction."""
+        self._queue.append(transaction)
+        return transaction
+
+    @property
+    def idle(self):
+        """True when no transaction is queued, active or in flight."""
+        return (self._current is None and not self._queue
+                and self._addr_beat is None and self._data_beat is None)
+
+    @property
+    def outstanding(self):
+        """Number of transactions queued or being executed."""
+        count = len(self._queue)
+        if self._current is not None:
+            count += 1
+        return count
+
+    # -- sequential behaviour ----------------------------------------------
+
+    def _on_clk(self):
+        bus = self.bus
+        if not bus.hready.value:
+            self.wait_cycles += 1
+            self._handle_stalled_response(HRESP(bus.hresp.value))
+            return
+
+        self._complete_data_phase()
+        advancing = self._addr_beat
+        self._addr_beat = None
+        self._advance_idle_and_pull()
+        self._drive_address_phase(bool(self.port.hgrant.value))
+        self._enter_data_phase(advancing)
+        self._drive_request()
+
+    def _advance_idle_and_pull(self):
+        """Tick the inter-transaction idle gap and pull new work.
+
+        Runs once per accepted bus cycle, independent of grant: a
+        master decides *what it wants* locally and only the address
+        phase depends on owning the bus.
+        """
+        if self._idle_countdown > 0:
+            self._idle_countdown -= 1
+            return
+        if self._current is None:
+            self._pull_next_transaction()
+            if self._idle_countdown > 0:
+                self._idle_countdown -= 1
+
+    def _handle_stalled_response(self, resp):
+        """First cycle of a two-cycle non-OKAY response: cancel the
+        transfer currently in its (extended) address phase."""
+        if resp == HRESP.OKAY or self._addr_beat is None:
+            return
+        cancelled = self._addr_beat
+        self._addr_beat = None
+        self._rewind_to(cancelled)
+        self.port.htrans.write(int(HTRANS.IDLE))
+
+    def _complete_data_phase(self):
+        """Finish the beat whose data phase just ended (HREADY high)."""
+        beat = self._data_beat
+        if beat is None:
+            return
+        self._data_beat = None
+        resp = HRESP(self.bus.hresp.value)
+        txn = beat.txn
+        txn.responses.append(resp)
+        if resp == HRESP.OKAY:
+            if not beat.write:
+                txn.rdata.append(self.bus.hrdata.value)
+            self.beats_completed += 1
+            if beat.last:
+                self._finish_transaction(txn)
+        elif resp in (HRESP.RETRY, HRESP.SPLIT):
+            txn.retries += 1
+            self._rewind_to(beat)
+        else:  # ERROR
+            txn.error = True
+            if self._current is txn:
+                self._current = None
+                self._beat_index = 0
+                self._busy_remaining = 0
+            self._finish_transaction(txn)
+
+    def _finish_transaction(self, txn):
+        txn.done = True
+        txn.complete_time = self.sim.now
+        self.completed.append(txn)
+        for callback in self.on_complete:
+            callback(txn)
+
+    def _rewind_to(self, beat):
+        """Roll the issue pointer back so *beat* is re-issued."""
+        if self._current is not None and self._current is not beat.txn:
+            # The interrupted transaction cannot have issued any beat
+            # yet (its first address phase was never accepted), so it
+            # goes back to the queue head wholesale.
+            assert self._beat_index == 0, "cannot push back a partial burst"
+            self._queue.appendleft(self._current)
+        self._current = beat.txn
+        self._beat_index = beat.index
+        self._busy_remaining = 0
+        self._force_nonseq = True
+
+    def _drive_address_phase(self, granted):
+        port = self.port
+        if not granted:
+            port.htrans.write(int(HTRANS.IDLE))
+            if self._current is not None and self._beat_index > 0:
+                # Lost the bus mid-burst (round-robin boundary
+                # preemption): the remaining beats restart as a new
+                # burst when the grant comes back (spec §3.11.2).
+                self._force_nonseq = True
+            return
+        action, payload = self._next_drive()
+        if action == "beat":
+            beat = payload
+            # NONSEQ for the first beat of a burst and for beats
+            # re-issued after a rewind (RETRY/SPLIT or cancelled
+            # address phase); SEQ otherwise.
+            htrans = HTRANS.NONSEQ if (beat.first or self._reissue) \
+                else HTRANS.SEQ
+            self._reissue = False
+            port.htrans.write(int(htrans))
+            port.haddr.write(beat.address)
+            port.hwrite.write(1 if beat.write else 0)
+            port.hsize.write(int(beat.txn.hsize))
+            port.hburst.write(int(beat.txn.hburst))
+            if beat.txn.issue_time is None:
+                beat.txn.issue_time = self.sim.now
+            self._addr_beat = beat
+        elif action == "busy":
+            port.htrans.write(int(HTRANS.BUSY))
+            port.haddr.write(payload)
+            self.busy_cycles += 1
+        else:
+            port.htrans.write(int(HTRANS.IDLE))
+            self.idle_owned_cycles += 1
+
+    _reissue = False
+    _force_nonseq = False
+
+    def _next_drive(self):
+        """Decide what to present in the next address phase.
+
+        Returns ``("beat", Beat)``, ``("busy", next_address)`` or
+        ``("idle", None)``.
+        """
+        if self._idle_countdown > 0:
+            return ("idle", None)
+        txn = self._current
+        if txn is None:
+            return ("idle", None)
+        if self._busy_remaining > 0:
+            self._busy_remaining -= 1
+            return ("busy", txn.beat_address(self._beat_index))
+        beat = Beat(txn, self._beat_index)
+        self._reissue = self._force_nonseq
+        self._force_nonseq = False
+        self._beat_index += 1
+        if self._beat_index >= txn.beats:
+            self._current = None
+            self._beat_index = 0
+        elif txn.busy_between_beats:
+            self._busy_remaining = txn.busy_between_beats
+        return ("beat", beat)
+
+    def _pull_next_transaction(self):
+        if self._queue:
+            txn = self._queue.popleft()
+        elif self.source is not None:
+            txn = self.source.next_transaction(self.sim.now)
+        else:
+            txn = None
+        if txn is None:
+            return
+        self._current = txn
+        self._beat_index = 0
+        self._busy_remaining = 0
+        if txn.idle_cycles_before:
+            self._idle_countdown = txn.idle_cycles_before
+
+    def _enter_data_phase(self, beat):
+        self._data_beat = beat
+        if beat is not None and beat.write:
+            self.port.hwdata.write(beat.data)
+
+    def _drive_request(self):
+        wants = (self._current is not None or bool(self._queue)
+                 or self._addr_beat is not None)
+        if self._idle_countdown > 0:
+            wants = False
+        self.port.hbusreq.write(1 if wants else 0)
+        locked = (self._current is not None and self._current.locked)
+        if self._addr_beat is not None and self._addr_beat.txn.locked:
+            locked = True
+        self.port.hlock.write(1 if locked else 0)
+
+
+class DefaultMaster(AhbMaster):
+    """The paper's "simple default master".
+
+    Never requests the bus and always drives IDLE; the arbiter grants
+    it whenever no real master is requesting, so the bus has a defined
+    owner at all times.
+    """
+
+    def __init__(self, sim, name, clk, port, bus, parent=None):
+        super().__init__(sim, name, clk, port, bus, source=None,
+                         parent=parent)
+
+    def enqueue(self, transaction):
+        raise TypeError("the default master cannot execute transactions")

@@ -1,0 +1,127 @@
+"""AHB multiplexing logic.
+
+AHB is a multiplexed (not tri-state) bus: every master permanently
+drives its own address/control/write-data signals and a central
+multiplexer, steered by the arbiter, forwards the owner's signals to
+the slaves (**M2S**); symmetrically, a read multiplexer steered by the
+decoder forwards the selected slave's read-data/ready/response to the
+masters (**S2M**).  These two blocks dominate the bus power budget in
+the paper (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from ..kernel import Module
+from .types import HRESP, HTRANS, is_active
+
+
+class MasterToSlaveMux(Module):
+    """Forwards the owning master's address/control and write data.
+
+    Address and control are selected by ``HMASTER`` (address-phase
+    owner); ``HWDATA`` is selected by the delayed ``HMASTER_D``
+    (data-phase owner), per spec rev 2.0 §3.7.
+    """
+
+    def __init__(self, sim, name, clk, master_ports, hmaster, hmaster_d,
+                 bus, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.master_ports = list(master_ports)
+        self.hmaster = hmaster
+        self.hmaster_d = hmaster_d
+        self.bus = bus
+
+        addr_ctrl_inputs = []
+        for port in self.master_ports:
+            addr_ctrl_inputs.extend(port.address_control_signals())
+        self.method(
+            self._route_address_control,
+            addr_ctrl_inputs + [hmaster],
+            name="route_addr_ctrl",
+        )
+        self.method(
+            self._route_write_data,
+            [port.hwdata for port in self.master_ports] + [hmaster_d],
+            name="route_wdata",
+        )
+
+    def _route_address_control(self):
+        port = self.master_ports[self.hmaster.value]
+        self.bus.htrans.write(port.htrans.value)
+        self.bus.haddr.write(port.haddr.value)
+        self.bus.hwrite.write(port.hwrite.value)
+        self.bus.hsize.write(port.hsize.value)
+        self.bus.hburst.write(port.hburst.value)
+        self.bus.hprot.write(port.hprot.value)
+
+    def _route_write_data(self):
+        port = self.master_ports[self.hmaster_d.value]
+        self.bus.hwdata.write(port.hwdata.value)
+
+    @property
+    def n_inputs(self):
+        """Number of multiplexer input legs (masters)."""
+        return len(self.master_ports)
+
+
+class SlaveToMasterMux(Module):
+    """Forwards the data-phase slave's read data, ready and response.
+
+    The select is the decoder output *registered at the address phase*:
+    the slave addressed in cycle *k* drives the response during its data
+    phase in cycle *k+1* (spec rev 2.0 §3.6).  When no transfer is in
+    its data phase the multiplexer drives ``HREADY=1`` / ``OKAY``.
+    """
+
+    def __init__(self, sim, name, clk, slave_ports, default_port,
+                 decoder_selected, bus, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.slave_ports = list(slave_ports)
+        self.default_port = default_port
+        self.decoder_selected = decoder_selected
+        self.bus = bus
+
+        n_all = len(slave_ports) + 1
+        self.dsel = self.signal("dsel", init=len(slave_ports), width=8)
+        self.dactive = self.signal("dactive", init=0, width=1)
+
+        response_inputs = []
+        for port in list(self.slave_ports) + [default_port]:
+            response_inputs.extend(port.driven_signals())
+        self.method(
+            self._route_response,
+            response_inputs + [self.dsel, self.dactive],
+            name="route_response",
+        )
+        self.method(self._advance_data_phase, [clk.posedge],
+                    name="advance_data_phase", initialize=False)
+        self._n_all = n_all
+
+    def _all_ports(self):
+        return list(self.slave_ports) + [self.default_port]
+
+    def _route_response(self):
+        if self.dactive.value:
+            port = self._all_ports()[self.dsel.value]
+            self.bus.hready.write(port.hready_out.value)
+            self.bus.hresp.write(port.hresp.value)
+            self.bus.hrdata.write(port.hrdata.value)
+        else:
+            self.bus.hready.write(1)
+            self.bus.hresp.write(int(HRESP.OKAY))
+
+    def _advance_data_phase(self):
+        """Latch the decoder select when the address phase is accepted."""
+        if not self.bus.hready.value:
+            return
+        self.dsel.write(self.decoder_selected.value)
+        self.dactive.write(
+            1 if is_active(HTRANS(self.bus.htrans.value)) else 0
+        )
+
+    @property
+    def n_inputs(self):
+        """Number of multiplexer input legs (slaves incl. default)."""
+        return self._n_all

@@ -1,0 +1,77 @@
+"""Signal bundles connecting masters and slaves to the bus fabric.
+
+A :class:`MasterPort` groups the signals one master drives towards the
+bus (request, address and control, write data) and the signals the bus
+drives back (grant, ready, response, read data).  A :class:`SlavePort`
+is the mirror image for a slave.  The bundles exist so that modules can
+be wired by passing a single object and so that activity monitors can
+enumerate block I/O signals, as the paper's instrumentation does.
+"""
+
+from __future__ import annotations
+
+from ..kernel import Signal
+from .types import HBURST, HRESP, HTRANS
+
+
+class MasterPort:
+    """Per-master signal bundle.
+
+    Master-driven: ``hbusreq``, ``hlock``, ``htrans``, ``haddr``,
+    ``hwrite``, ``hsize``, ``hburst``, ``hprot``, ``hwdata``.
+    Bus-driven: ``hgrant`` (plus the shared bus ``hready``, ``hresp``,
+    ``hrdata`` which live on the fabric).
+    """
+
+    def __init__(self, sim, name, data_width=32, addr_width=32):
+        self.name = name
+        self.data_width = data_width
+        self.addr_width = addr_width
+        self.hbusreq = Signal(sim, name + ".HBUSREQ", init=0, width=1)
+        self.hlock = Signal(sim, name + ".HLOCK", init=0, width=1)
+        self.htrans = Signal(sim, name + ".HTRANS",
+                             init=int(HTRANS.IDLE), width=2)
+        self.haddr = Signal(sim, name + ".HADDR", init=0, width=addr_width)
+        self.hwrite = Signal(sim, name + ".HWRITE", init=0, width=1)
+        self.hsize = Signal(sim, name + ".HSIZE", init=0, width=3)
+        self.hburst = Signal(sim, name + ".HBURST",
+                             init=int(HBURST.SINGLE), width=3)
+        self.hprot = Signal(sim, name + ".HPROT", init=0, width=4)
+        self.hwdata = Signal(sim, name + ".HWDATA", init=0, width=data_width)
+        self.hgrant = Signal(sim, name + ".HGRANT", init=0, width=1)
+
+    def driven_signals(self):
+        """Signals this master drives (M2S multiplexer inputs)."""
+        return (self.hbusreq, self.hlock, self.htrans, self.haddr,
+                self.hwrite, self.hsize, self.hburst, self.hprot,
+                self.hwdata)
+
+    def address_control_signals(self):
+        """The address/control subset routed by the M2S multiplexer."""
+        return (self.htrans, self.haddr, self.hwrite, self.hsize,
+                self.hburst, self.hprot)
+
+
+class SlavePort:
+    """Per-slave signal bundle.
+
+    Bus-driven: ``hsel`` (address/control and write data are the shared
+    bus signals).  Slave-driven: ``hrdata``, ``hready_out``, ``hresp``.
+    """
+
+    def __init__(self, sim, name, data_width=32):
+        self.name = name
+        self.data_width = data_width
+        self.hsel = Signal(sim, name + ".HSEL", init=0, width=1)
+        self.hrdata = Signal(sim, name + ".HRDATA", init=0, width=data_width)
+        self.hready_out = Signal(sim, name + ".HREADYOUT", init=1, width=1)
+        self.hresp = Signal(sim, name + ".HRESP",
+                            init=int(HRESP.OKAY), width=2)
+        #: Split-release bus to the arbiter: bit *i* pulses high when a
+        #: previously split transfer of master *i* can be retried
+        #: (AMBA rev 2.0 §3.12, HSPLITx).
+        self.hsplit = Signal(sim, name + ".HSPLIT", init=0, width=16)
+
+    def driven_signals(self):
+        """Signals this slave drives (S2M multiplexer inputs)."""
+        return (self.hrdata, self.hready_out, self.hresp)

@@ -1,0 +1,158 @@
+"""Bus transactions: the unit of work a master BFM executes.
+
+An :class:`AhbTransaction` describes one AHB burst (a SINGLE transfer
+is a one-beat burst).  The master turns it into address/data-phase
+*beats*; results (read data, per-beat responses, completion time) are
+collected back onto the transaction object.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .types import (
+    HBURST,
+    HSIZE,
+    aligned,
+    burst_addresses,
+    burst_beats,
+    size_bytes,
+)
+
+_txn_ids = itertools.count()
+
+
+class AhbTransaction:
+    """One AHB burst issued by a master.
+
+    Parameters
+    ----------
+    write:
+        ``True`` for a write burst, ``False`` for a read burst.
+    address:
+        First beat address; must be aligned to ``hsize``.
+    data:
+        Write data, one integer per beat (writes only).
+    hsize:
+        Transfer size; defaults to WORD.
+    hburst:
+        Burst kind; defaults to SINGLE.
+    beats:
+        Beat count for undefined-length INCR bursts.
+    locked:
+        Assert ``HLOCK`` for the duration of the transaction.
+    idle_cycles_before:
+        Number of cycles the master idles (bus released) before
+        requesting the bus for this transaction — the paper's random
+        IDLE commands.
+    busy_between_beats:
+        Number of BUSY cycles inserted between burst beats.
+    """
+
+    def __init__(self, write, address, data=None, hsize=HSIZE.WORD,
+                 hburst=HBURST.SINGLE, beats=None, locked=False,
+                 idle_cycles_before=0, busy_between_beats=0):
+        self.id = next(_txn_ids)
+        self.write = bool(write)
+        self.address = int(address)
+        self.hsize = HSIZE(hsize)
+        self.hburst = HBURST(hburst)
+        self.locked = bool(locked)
+        self.idle_cycles_before = int(idle_cycles_before)
+        self.busy_between_beats = int(busy_between_beats)
+
+        fixed = burst_beats(self.hburst)
+        if fixed is None:
+            if beats is None:
+                beats = 1 if data is None else len(data)
+            self.beats = int(beats)
+        else:
+            self.beats = fixed
+            if beats is not None and beats != fixed:
+                raise ValueError(
+                    "%s bursts have %d beats" % (self.hburst.name, fixed)
+                )
+        if self.beats < 1:
+            raise ValueError("transaction needs at least one beat")
+        if not aligned(self.address, self.hsize):
+            raise ValueError(
+                "address %#x unaligned for %s"
+                % (self.address, self.hsize.name)
+            )
+
+        if self.write:
+            if data is None:
+                raise ValueError("write transaction needs data")
+            data = list(data)
+            if len(data) != self.beats:
+                raise ValueError(
+                    "write burst of %d beats got %d data items"
+                    % (self.beats, len(data))
+                )
+            mask = (1 << (8 * size_bytes(self.hsize))) - 1
+            self.data = [value & mask for value in data]
+        else:
+            if data is not None:
+                raise ValueError("read transaction takes no data")
+            self.data = None
+
+        self.addresses = burst_addresses(
+            self.address, self.hburst, self.hsize,
+            beats=self.beats if fixed is None else None,
+        )
+
+        # -- results filled in by the master BFM ------------------------
+        self.rdata = []
+        self.responses = []
+        self.retries = 0
+        self.error = False
+        self.done = False
+        self.issue_time = None
+        self.complete_time = None
+
+    @classmethod
+    def read(cls, address, **kwargs):
+        """Convenience constructor for a read transaction."""
+        return cls(False, address, **kwargs)
+
+    @classmethod
+    def write_single(cls, address, value, **kwargs):
+        """Convenience constructor for a single-beat write."""
+        return cls(True, address, data=[value], **kwargs)
+
+    def beat_address(self, index):
+        """Return the address of beat *index*."""
+        return self.addresses[index]
+
+    @property
+    def latency(self):
+        """Cycles (kernel time) between issue and completion, if done."""
+        if self.issue_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.issue_time
+
+    def __repr__(self):
+        kind = "WRITE" if self.write else "READ"
+        return "AhbTransaction(#%d %s %s@%#x x%d)" % (
+            self.id, kind, self.hburst.name, self.address, self.beats,
+        )
+
+
+class Beat:
+    """One address/data-phase beat derived from a transaction."""
+
+    __slots__ = ("txn", "index", "address", "write", "data", "first", "last")
+
+    def __init__(self, txn, index):
+        self.txn = txn
+        self.index = index
+        self.address = txn.beat_address(index)
+        self.write = txn.write
+        self.data = txn.data[index] if txn.write else None
+        self.first = index == 0
+        self.last = index == txn.beats - 1
+
+    def __repr__(self):
+        return "Beat(txn=%d, beat=%d, addr=%#x)" % (
+            self.txn.id, self.index, self.address,
+        )

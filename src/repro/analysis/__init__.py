@@ -1,0 +1,73 @@
+"""Experiment runners, tables and plots for the paper's evaluation."""
+
+from .experiments import (
+    PAPER_ARBITRATION_SHARE,
+    PAPER_DATA_TRANSFER_SHARE,
+    PAPER_TABLE1_AVERAGES,
+    PAPER_TABLE1_SHARES,
+    ExperimentResult,
+    characterize_instruction_energies,
+    run_design_space,
+    run_fig6,
+    run_granularity_ablation,
+    run_macromodel_validation,
+    run_model_styles_ablation,
+    run_overhead,
+    run_power_figure,
+    run_table1,
+)
+from .export import (
+    ledger_to_csv,
+    ledger_to_rows,
+    result_to_dict,
+    results_to_json,
+    run_summary,
+    traces_to_csv,
+)
+from .plots import ascii_plot, plot_power_trace, sparkline
+from .report import render_report, run_all
+from .waveform import render_live_signals, render_waveform
+from .tables import (
+    TextTable,
+    block_contribution_table,
+    comparison_table,
+    format_energy,
+    instruction_class_summary,
+    instruction_energy_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_ARBITRATION_SHARE",
+    "PAPER_DATA_TRANSFER_SHARE",
+    "PAPER_TABLE1_AVERAGES",
+    "PAPER_TABLE1_SHARES",
+    "TextTable",
+    "ascii_plot",
+    "block_contribution_table",
+    "characterize_instruction_energies",
+    "comparison_table",
+    "format_energy",
+    "instruction_class_summary",
+    "instruction_energy_table",
+    "ledger_to_csv",
+    "ledger_to_rows",
+    "plot_power_trace",
+    "result_to_dict",
+    "results_to_json",
+    "run_summary",
+    "traces_to_csv",
+    "render_live_signals",
+    "render_report",
+    "render_waveform",
+    "run_all",
+    "run_design_space",
+    "run_fig6",
+    "run_granularity_ablation",
+    "run_macromodel_validation",
+    "run_model_styles_ablation",
+    "run_overhead",
+    "run_power_figure",
+    "run_table1",
+    "sparkline",
+]

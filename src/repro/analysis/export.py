@@ -1,0 +1,106 @@
+"""Machine-readable export of experiment results.
+
+Experiment runners return :class:`ExperimentResult` objects whose
+tables are human text; downstream tooling (plotting scripts, CI
+dashboards, regression trackers) needs structured data.  This module
+serialises results to JSON and ledgers/traces to CSV.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..kernel.time import to_seconds
+
+
+def result_to_dict(result):
+    """Convert an :class:`ExperimentResult` into plain data."""
+    return {
+        "name": result.name,
+        "passed": result.passed,
+        "metrics": {key: value for key, value in result.metrics.items()},
+        "checks": dict(result.checks),
+        "notes": list(result.notes),
+        "tables": {label: str(table)
+                   for label, table in result.tables.items()},
+    }
+
+
+def results_to_json(results, fh=None, indent=2):
+    """Serialise a list of results to JSON (returns the string)."""
+    payload = {
+        "experiments": [result_to_dict(result) for result in results],
+        "passed": sum(1 for result in results if result.passed),
+        "total": len(results),
+    }
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if fh is not None:
+        fh.write(text)
+    return text
+
+
+def ledger_to_rows(ledger):
+    """Flatten a ledger into (kind, key, count, energy_j, share) rows."""
+    rows = []
+    for name in sorted(ledger.instructions):
+        stats = ledger.instructions[name]
+        rows.append(("instruction", name, stats.count, stats.energy,
+                     ledger.instruction_share(name)))
+    for block in sorted(ledger.block_energy):
+        rows.append(("block", block, ledger.cycles,
+                     ledger.block_energy[block],
+                     ledger.block_share(block)))
+    rows.append(("total", "TOTAL", ledger.cycles, ledger.total_energy,
+                 1.0 if ledger.total_energy else 0.0))
+    return rows
+
+
+def ledger_to_csv(ledger, fh):
+    """Write a ledger as CSV to the open file *fh*."""
+    fh.write("kind,key,count,energy_j,share\n")
+    for kind, key, count, energy, share in ledger_to_rows(ledger):
+        fh.write("%s,%s,%d,%.9e,%.6f\n"
+                 % (kind, key, count, energy, share))
+
+
+def traces_to_csv(traces, window_ps, fh, t_end=None):
+    """Write a :class:`TraceSet` as wide CSV (one power column per
+    block) to the open file *fh*."""
+    names = sorted(traces.names())
+    columns = {}
+    centers = None
+    for name in names:
+        centers, power = traces[name].windowed(window_ps, t_end=t_end)
+        columns[name] = power
+    if centers is None:
+        raise ValueError("trace set is empty")
+    fh.write("time_s," + ",".join("%s_w" % name for name in names)
+             + "\n")
+    for index, center in enumerate(centers):
+        fh.write("%.9e" % center)
+        for name in names:
+            fh.write(",%.9e" % columns[name][index])
+        fh.write("\n")
+
+
+def run_summary(system):
+    """One-dict summary of a finished :class:`AhbSystem` run."""
+    ledger = system.ledger
+    elapsed = to_seconds(system.sim.now)
+    summary = {
+        "simulated_seconds": elapsed,
+        "cycles": ledger.cycles if ledger else None,
+        "transactions": system.transactions_completed(),
+        "handovers": system.bus.arbiter.handover_count,
+        "total_energy_j": ledger.total_energy if ledger else None,
+        "average_power_w": (ledger.average_power(elapsed)
+                            if ledger and elapsed > 0 else None),
+        "protocol_violations": (len(system.checker.violations)
+                                if system.checker else None),
+    }
+    if ledger:
+        summary["block_shares"] = {
+            block: ledger.block_share(block)
+            for block in ledger.block_energy
+        }
+    return summary

@@ -1,0 +1,101 @@
+"""ASCII plotting for power traces (paper Figs. 3-5).
+
+Terminal-friendly line plots so benchmark output shows the *shape* of
+the power-versus-time figures without a graphics stack; traces can also
+be exported to CSV via :meth:`repro.power.PowerTrace.to_csv` for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_plot(xs, ys, width=72, height=16, title="", x_label="",
+               y_label="", y_unit=""):
+    """Render an XY series as an ASCII chart string."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0 or ys.size == 0:
+        return "%s\n(no data)" % title
+    if xs.size != ys.size:
+        raise ValueError("x/y length mismatch")
+
+    y_min = float(ys.min())
+    y_max = float(ys.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = float(xs.min())
+    x_max = float(xs.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Bucket samples into columns; draw the column mean.
+    columns = np.clip(
+        ((xs - x_min) / (x_max - x_min) * (width - 1)).astype(int),
+        0, width - 1,
+    )
+    for column in range(width):
+        mask = columns == column
+        if not mask.any():
+            continue
+        value = float(ys[mask].mean())
+        row = int(round((value - y_min) / (y_max - y_min) * (height - 1)))
+        row = height - 1 - min(max(row, 0), height - 1)
+        grid[row][column] = "*"
+        # Fill downwards lightly for readability.
+        for below in range(row + 1, height):
+            if grid[below][column] == " ":
+                grid[below][column] = "."
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = "%.3g%s" % (y_max, y_unit)
+    bottom_label = "%.3g%s" % (y_min, y_unit)
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append("%s |%s" % (prefix, "".join(row_cells)))
+    lines.append("%s +%s" % (" " * label_width, "-" * width))
+    x_line = "%s  %-20s%s" % (
+        " " * label_width,
+        "%.3g" % x_min,
+        ("%.3g %s" % (x_max, x_label)).rjust(width - 20),
+    )
+    lines.append(x_line)
+    if y_label:
+        lines.append("y: %s" % y_label)
+    return "\n".join(lines)
+
+
+def plot_power_trace(trace, window_ps, title=None, t_start=0, t_end=None,
+                     width=72, height=14):
+    """ASCII plot of a :class:`~repro.power.PowerTrace` in milliwatts."""
+    centers, power = trace.windowed(window_ps, t_start=t_start,
+                                    t_end=t_end)
+    return ascii_plot(
+        centers * 1e6, power * 1e3, width=width, height=height,
+        title=title or ("%s power" % trace.name),
+        x_label="us", y_unit=" mW", y_label="window-averaged power [mW]",
+    )
+
+
+def sparkline(values, levels=" .:-=+*#%@"):
+    """One-line intensity strip of *values* (for quick summaries)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    low = float(values.min())
+    high = float(values.max())
+    if high == low:
+        return levels[0] * values.size
+    indices = ((values - low) / (high - low)
+               * (len(levels) - 1)).astype(int)
+    return "".join(levels[index] for index in indices)

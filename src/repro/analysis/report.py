@@ -1,0 +1,53 @@
+"""Full reproduction report: run every experiment and render the
+paper-vs-measured summary (the content of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from . import experiments
+
+
+def run_all(seed=1, quick=False):
+    """Run every experiment; returns the list of ExperimentResult.
+
+    ``quick=True`` shrinks run lengths for smoke testing.
+    """
+    from ..kernel import us
+    duration = us(10) if quick else None
+    samples = 120 if quick else 400
+    results = [
+        experiments.run_table1(seed=seed, duration_ps=duration),
+        experiments.run_power_figure("TOTAL", seed=seed),
+        experiments.run_power_figure("ARB", seed=seed),
+        experiments.run_power_figure("M2S", seed=seed),
+        experiments.run_fig6(seed=seed, duration_ps=duration),
+        experiments.run_overhead(seed=seed, duration_ps=duration,
+                                 repeats=1 if quick else 3),
+        experiments.run_macromodel_validation(samples=samples),
+        experiments.run_granularity_ablation(seed=seed,
+                                             duration_ps=duration),
+        experiments.run_model_styles_ablation(seed=seed,
+                                              duration_ps=duration),
+        experiments.run_design_space(seed=seed, duration_ps=duration),
+    ]
+    return results
+
+
+def render_report(results):
+    """Concatenate experiment summaries into one report string."""
+    sections = [result.summary() for result in results]
+    passed = sum(1 for result in results if result.passed)
+    header = (
+        "AMBA AHB system-level power analysis - reproduction report\n"
+        "%d/%d experiments passed all shape checks\n"
+        % (passed, len(results))
+    )
+    return header + "\n\n".join(sections)
+
+
+def main():  # pragma: no cover - CLI convenience
+    print(render_report(run_all()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

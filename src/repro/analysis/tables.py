@@ -1,0 +1,149 @@
+"""Text tables for experiment reports (paper Table 1 / Fig. 6 styles)."""
+
+from __future__ import annotations
+
+from ..power.instructions import (
+    TABLE1_INSTRUCTIONS,
+    is_arbitration,
+    is_data_transfer,
+)
+from ..power.ledger import PAPER_BLOCKS
+
+
+class TextTable:
+    """Minimal fixed-width table formatter.
+
+    >>> t = TextTable(["name", "value"])
+    >>> t.add_row(["x", 1])
+    >>> print(t.format())        # doctest: +NORMALIZE_WHITESPACE
+    name | value
+    -----+------
+    x    | 1
+    """
+
+    def __init__(self, headers):
+        self.headers = [str(header) for header in headers]
+        self.rows = []
+
+    def add_row(self, cells):
+        if len(cells) != len(self.headers):
+            raise ValueError("row width mismatch")
+        self.rows.append([str(cell) for cell in cells])
+
+    def format(self):
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        header = " | ".join(
+            header.ljust(width)
+            for header, width in zip(self.headers, widths)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(" | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.format()
+
+
+def format_energy(joules):
+    """Engineering-formatted energy string.
+
+    >>> format_energy(14.7e-12)
+    '14.70 pJ'
+    """
+    magnitude = abs(joules)
+    if magnitude >= 1e-3:
+        return "%.2f mJ" % (joules * 1e3)
+    if magnitude >= 1e-6:
+        return "%.2f uJ" % (joules * 1e6)
+    if magnitude >= 1e-9:
+        return "%.2f nJ" % (joules * 1e9)
+    if magnitude >= 1e-12:
+        return "%.2f pJ" % (joules * 1e12)
+    return "%.2f fJ" % (joules * 1e15)
+
+
+def instruction_energy_table(ledger, instructions=None,
+                             include_unlisted=True):
+    """Build the paper's Table 1 from a ledger.
+
+    Parameters
+    ----------
+    instructions:
+        Row order; defaults to the paper's Table 1 rows followed (when
+        *include_unlisted*) by any other executed instruction sorted by
+        descending energy.
+    """
+    if instructions is None:
+        instructions = list(TABLE1_INSTRUCTIONS)
+        if include_unlisted:
+            extra = sorted(
+                (name for name in ledger.instructions
+                 if name not in instructions),
+                key=lambda name: -ledger.instructions[name].energy,
+            )
+            instructions.extend(extra)
+
+    table = TextTable([
+        "Instruction", "Count", "Average energy",
+        "Total energy", "Share",
+    ])
+    for name in instructions:
+        stats = ledger.instruction_stats(name)
+        table.add_row([
+            name,
+            stats.count,
+            format_energy(stats.average_energy),
+            format_energy(stats.energy),
+            "%.2f %%" % (100.0 * ledger.instruction_share(name)),
+        ])
+    table.add_row([
+        "Total simulation energy", ledger.cycles,
+        "", format_energy(ledger.total_energy), "100.00 %",
+    ])
+    return table
+
+
+def instruction_class_summary(ledger):
+    """The paper's headline split: data transfer vs arbitration vs rest."""
+    data = ledger.class_share(is_data_transfer)
+    arbitration = ledger.class_share(is_arbitration)
+    other = max(0.0, 1.0 - data - arbitration)
+    table = TextTable(["Instruction class", "Energy share"])
+    table.add_row(["data transfer (no handover)", "%.2f %%" % (100 * data)])
+    table.add_row(["bus arbitration (handover)",
+                   "%.2f %%" % (100 * arbitration)])
+    table.add_row(["other (plain idle)", "%.2f %%" % (100 * other)])
+    return table
+
+
+def block_contribution_table(ledger, blocks=PAPER_BLOCKS):
+    """Fig. 6: per-sub-block energy contribution."""
+    table = TextTable(["Sub-block", "Energy", "Share"])
+    ordered = sorted(blocks,
+                     key=lambda block: -ledger.block_energy.get(block, 0.0))
+    for block in ordered:
+        energy = ledger.block_energy.get(block, 0.0)
+        table.add_row([
+            block, format_energy(energy),
+            "%.2f %%" % (100.0 * ledger.block_share(block)),
+        ])
+    return table
+
+
+def comparison_table(rows, headers):
+    """Generic paper-vs-measured comparison table.
+
+    *rows* is a list of tuples matching *headers*.
+    """
+    table = TextTable(headers)
+    for row in rows:
+        table.add_row(row)
+    return table

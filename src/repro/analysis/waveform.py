@@ -1,0 +1,115 @@
+"""ASCII waveform rendering.
+
+A terminal-friendly timing-diagram view of recorded VCD signals — the
+quick "what is the bus doing" look a waveform viewer gives, without
+leaving the test log.  Scalar signals render as `/``\\` edges on a
+two-level trace; vector signals render as value lanes with transition
+markers.
+
+::
+
+    clk     |/\\/\\/\\/\\/\\/\\/\\/\\
+    HTRANS  |0     >2     >3 >0
+    HADDR   |0     >10    >14>0
+"""
+
+from __future__ import annotations
+
+
+def _sample(signal, times):
+    return [signal.value_at(t) for t in times]
+
+
+def _render_scalar(values):
+    cells = []
+    previous = values[0]
+    for value in values:
+        if value and not previous:
+            cells.append("/")
+        elif previous and not value:
+            cells.append("\\")
+        else:
+            cells.append("#" if value else "_")
+        previous = value
+    return "".join(cells)
+
+
+def _render_vector(values, cell_width):
+    cells = []
+    previous = None
+    hold = ""
+    for value in values:
+        if value != previous:
+            text = ("%x" % value)[:cell_width - 1]
+            hold = (">" + text).ljust(cell_width)[:cell_width]
+            cells.append(hold)
+        else:
+            cells.append(" " * cell_width)
+        previous = value
+    return "".join(cells)
+
+
+def render_waveform(vcd, signal_names, t_start=0, t_end=None,
+                    step_ps=None, columns=64, cell_width=4):
+    """Render selected *signal_names* of a parsed VCD as ASCII.
+
+    Parameters
+    ----------
+    vcd:
+        A :class:`~repro.kernel.vcd_reader.VcdFile`.
+    signal_names:
+        Names to show, top to bottom.
+    t_start, t_end:
+        Window in kernel time (defaults to the whole dump).
+    step_ps:
+        Sampling step; defaults to the window split into *columns*
+        samples.
+    cell_width:
+        Characters per sample for vector lanes.
+    """
+    if t_end is None:
+        t_end = vcd.end_time
+    if t_end <= t_start:
+        raise ValueError("empty window")
+    if step_ps is None:
+        step_ps = max(1, (t_end - t_start) // columns)
+    times = list(range(t_start, t_end, step_ps))[:columns]
+
+    label_width = max(len(name) for name in signal_names) + 1
+    lines = []
+    for name in signal_names:
+        signal = vcd[name]
+        values = _sample(signal, times)
+        if signal.width == 1:
+            body = _render_scalar(values)
+        else:
+            body = _render_vector(values, cell_width)
+        lines.append("%s|%s" % (name.ljust(label_width), body))
+    footer = "%s|%s ps .. %s ps (step %s ps)" % (
+        " " * label_width, t_start, t_end, step_ps,
+    )
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_live_signals(sim, signals, duration_ps, names=None,
+                        **kwargs):
+    """Convenience: trace *signals* to a temporary VCD while running
+    the simulation for *duration_ps*, then render them."""
+    import os
+    import tempfile
+
+    from ..kernel import VcdTracer, load_vcd
+
+    names = names or [signal.name.split(".")[-1] for signal in signals]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "live.vcd")
+        tracer = VcdTracer(sim, path)
+        for signal, name in zip(signals, names):
+            tracer.trace(signal, name)
+        start = sim.now
+        sim.run(until=start + duration_ps)
+        tracer.close()
+        vcd = load_vcd(path)
+        return render_waveform(vcd, names, t_start=start,
+                               t_end=start + duration_ps, **kwargs)

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli list
+    python -m repro.cli run table1 --seed 3
+    python -m repro.cli run fig5
+    python -m repro.cli report --json results.json
+    python -m repro.cli scenario wireless-modem --duration-us 50
+
+Every command prints human-readable tables; ``--json`` additionally
+writes machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import experiments as _experiments
+from .analysis.export import results_to_json, run_summary
+from .analysis.report import render_report, run_all
+from .kernel import us
+
+#: Experiment name → zero-config runner.
+EXPERIMENTS = {
+    "table1": lambda seed: _experiments.run_table1(seed=seed),
+    "fig3": lambda seed: _experiments.run_power_figure("TOTAL",
+                                                       seed=seed),
+    "fig4": lambda seed: _experiments.run_power_figure("ARB", seed=seed),
+    "fig5": lambda seed: _experiments.run_power_figure("M2S", seed=seed),
+    "fig6": lambda seed: _experiments.run_fig6(seed=seed),
+    "overhead": lambda seed: _experiments.run_overhead(seed=seed),
+    "validation": lambda seed: _experiments.run_macromodel_validation(),
+    "granularity": lambda seed: _experiments.run_granularity_ablation(
+        seed=seed),
+    "styles": lambda seed: _experiments.run_model_styles_ablation(
+        seed=seed),
+    "design-space": lambda seed: _experiments.run_design_space(
+        seed=seed),
+}
+
+
+def _cmd_list(args):
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print("  %s" % name)
+    from .workloads import SCENARIOS
+    print("scenarios:")
+    for name in sorted(SCENARIOS):
+        print("  %s" % name)
+    return 0
+
+
+def _cmd_run(args):
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print("unknown experiment %r; try 'list'" % args.experiment,
+              file=sys.stderr)
+        return 2
+    result = runner(args.seed)
+    print(result.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            results_to_json([result], fh)
+        print("wrote %s" % args.json)
+    return 0 if result.passed else 1
+
+
+def _cmd_report(args):
+    results = run_all(seed=args.seed, quick=args.quick)
+    print(render_report(results))
+    if args.json:
+        with open(args.json, "w") as fh:
+            results_to_json(results, fh)
+        print("wrote %s" % args.json)
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_scenario(args):
+    import json as _json
+
+    from .workloads import build_scenario
+    system = build_scenario(args.name, seed=args.seed)
+    system.run(us(args.duration_us))
+    system.assert_protocol_clean()
+    summary = run_summary(system)
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMBA AHB system-level power analysis "
+                    "(DATE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scenarios") \
+        .set_defaults(fn=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--json", help="also write JSON results")
+    run_parser.set_defaults(fn=_cmd_run)
+
+    report_parser = sub.add_parser("report",
+                                   help="run every experiment")
+    report_parser.add_argument("--seed", type=int, default=1)
+    report_parser.add_argument("--quick", action="store_true",
+                               help="shortened runs for smoke testing")
+    report_parser.add_argument("--json", help="also write JSON results")
+    report_parser.set_defaults(fn=_cmd_report)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="simulate a named SoC scenario")
+    scenario_parser.add_argument("name")
+    scenario_parser.add_argument("--seed", type=int, default=1)
+    scenario_parser.add_argument("--duration-us", type=float,
+                                 default=50.0)
+    scenario_parser.set_defaults(fn=_cmd_scenario)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""BLIF (Berkeley Logic Interchange Format) export and import.
+
+BLIF is the netlist format of the Berkeley SIS system the paper used to
+validate its macromodels.  Supporting it makes the gate-level substrate
+interoperable with the historical toolchain: netlists synthesised here
+can be optimised in SIS/ABC and read back for energy characterisation.
+
+Supported subset (what SIS itself reads and writes):
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``;
+* ``.names`` single-output cover tables with ``0``/``1``/``-`` input
+  literals and an ON-set (``... 1``) or OFF-set (``... 0``) output;
+* ``.latch input output [type control] [init]`` D flip-flops.
+
+Import maps recognisable two-level covers onto library cells (INV,
+BUF, AND2, OR2, ...) and synthesises an on-the-fly LUT cell type for
+anything else, so arbitrary SIS output remains simulatable.
+"""
+
+from __future__ import annotations
+
+from .gates import (
+    AND2,
+    BUF,
+    DEFAULT_INPUT_CAP,
+    INV,
+    NAND2,
+    NOR2,
+    OR2,
+    XNOR2,
+    XOR2,
+    CellType,
+)
+from .netlist import Netlist
+
+
+class BlifError(ValueError):
+    """Malformed BLIF input."""
+
+
+def _sanitise(name):
+    """BLIF tokens cannot contain whitespace; dots are fine."""
+    return name.replace(" ", "_")
+
+
+# -- export ------------------------------------------------------------------
+
+_CELL_COVERS = {
+    "INV": [("0", "1")],
+    "BUF": [("1", "1")],
+    "AND2": [("11", "1")],
+    "OR2": [("1-", "1"), ("-1", "1")],
+    "NAND2": [("11", "0")],
+    "NOR2": [("1-", "0"), ("-1", "0")],
+    "XOR2": [("01", "1"), ("10", "1")],
+    "XNOR2": [("00", "1"), ("11", "1")],
+}
+
+
+def _cover_for(cell):
+    """Return the BLIF cover rows for a library cell instance."""
+    cover = _CELL_COVERS.get(cell.cell_type.name)
+    if cover is not None:
+        return cover
+    # Generic fallback: enumerate the ON-set exhaustively.
+    n = cell.cell_type.n_inputs
+    rows = []
+    for code in range(1 << n):
+        bits = [(code >> index) & 1 for index in range(n)]
+        if cell.cell_type.fn(*bits):
+            rows.append(("".join(str(bit) for bit in bits), "1"))
+    return rows
+
+
+def write_blif(netlist, fh, model_name=None):
+    """Write *netlist* as BLIF to the open text file *fh*."""
+    fh.write(".model %s\n" % _sanitise(model_name or netlist.name))
+    fh.write(".inputs %s\n" % " ".join(
+        _sanitise(net.name) for net in netlist.inputs))
+    fh.write(".outputs %s\n" % " ".join(
+        _sanitise(net.name) for net in netlist.outputs))
+    for flop in netlist.dffs:
+        fh.write(".latch %s %s re clk 0\n"
+                 % (_sanitise(flop.d.name), _sanitise(flop.q.name)))
+    for cell in netlist.levelise():
+        names = [_sanitise(net.name) for net in cell.inputs]
+        names.append(_sanitise(cell.output.name))
+        fh.write(".names %s\n" % " ".join(names))
+        for pattern, value in _cover_for(cell):
+            fh.write("%s %s\n" % (pattern, value))
+    fh.write(".end\n")
+
+
+def save_blif(netlist, path, model_name=None):
+    """Write *netlist* as BLIF to *path*."""
+    with open(path, "w") as fh:
+        write_blif(netlist, fh, model_name=model_name)
+
+
+# -- import ------------------------------------------------------------------
+
+def _join_continuations(lines):
+    """Merge lines ending in a backslash (BLIF line continuation)."""
+    merged = []
+    buffer = ""
+    for line in lines:
+        line = line.split("#", 1)[0].rstrip("\n")
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        merged.append(buffer + line)
+        buffer = ""
+    if buffer:
+        merged.append(buffer)
+    return merged
+
+
+def _cover_matches(pattern, bits):
+    return all(literal == "-" or literal == str(bit)
+               for literal, bit in zip(pattern, bits))
+
+
+def _make_cover_fn(rows, on_value):
+    patterns = [pattern for pattern, _ in rows]
+
+    def fn(*bits):
+        for pattern in patterns:
+            if _cover_matches(pattern, bits):
+                return on_value
+        return 1 - on_value
+
+    return fn
+
+
+_REVERSE_COVERS = {
+    tuple(sorted(rows)): name for name, rows in _CELL_COVERS.items()
+}
+
+_LIBRARY_BY_NAME = {
+    "INV": INV, "BUF": BUF, "AND2": AND2, "OR2": OR2,
+    "NAND2": NAND2, "NOR2": NOR2, "XOR2": XOR2, "XNOR2": XNOR2,
+}
+
+
+def _cell_type_for_cover(rows):
+    """Map a parsed cover to a library cell, or build a LUT type."""
+    library_name = _REVERSE_COVERS.get(tuple(sorted(rows)))
+    if library_name is not None:
+        return _LIBRARY_BY_NAME[library_name]
+    n_inputs = len(rows[0][0])
+    on_value = int(rows[0][1])
+    if any(int(value) != on_value for _, value in rows):
+        raise BlifError("mixed ON/OFF-set cover")
+    return CellType(
+        "LUT%d" % n_inputs, n_inputs,
+        _make_cover_fn(rows, on_value), DEFAULT_INPUT_CAP,
+    )
+
+
+def read_blif(fh):
+    """Parse BLIF from open file *fh* into a :class:`Netlist`."""
+    lines = _join_continuations(fh.readlines())
+    model_name = "blif"
+    input_names = []
+    output_names = []
+    latches = []           # (d_name, q_name)
+    tables = []            # (input_names, output_name, rows)
+
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else "blif"
+        elif keyword == ".inputs":
+            input_names.extend(tokens[1:])
+        elif keyword == ".outputs":
+            output_names.extend(tokens[1:])
+        elif keyword == ".latch":
+            if len(tokens) < 3:
+                raise BlifError("malformed .latch: %r" % line)
+            latches.append((tokens[1], tokens[2]))
+        elif keyword == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise BlifError(".names with no signals")
+            rows = []
+            while index < len(lines):
+                row = lines[index].strip()
+                if not row or row.startswith("."):
+                    break
+                index += 1
+                parts = row.split()
+                if len(signals) == 1:
+                    # constant driver: ".names y" then "1" or nothing
+                    rows.append(("", parts[0]))
+                else:
+                    if len(parts) != 2:
+                        raise BlifError("malformed cover row: %r" % row)
+                    rows.append((parts[0], parts[1]))
+            tables.append((signals[:-1], signals[-1], rows))
+        elif keyword == ".end":
+            break
+        elif keyword.startswith("."):
+            raise BlifError("unsupported construct: %r" % keyword)
+        else:
+            raise BlifError("unexpected line: %r" % line)
+
+    netlist = Netlist(model_name)
+    nets = {}
+    for name in input_names:
+        nets[name] = netlist.add_input(name)
+    # Latch outputs exist before their drivers are parsed.
+    placeholder_dffs = {}
+    for d_name, q_name in latches:
+        q = netlist.net(q_name)
+        nets[q_name] = q
+        placeholder_dffs[q_name] = d_name
+
+    # Create nets for every table output first (covers may be listed
+    # in any order in SIS output).
+    for _, output_name, _ in tables:
+        if output_name not in nets:
+            nets[output_name] = netlist.net(output_name)
+
+    for in_names, output_name, rows in tables:
+        if not rows:
+            continue  # constant-0 net: leave undriven (defaults to 0)
+        if not in_names:
+            # constant driver; model constant-1 as INV of itself is
+            # wrong — instead leave constant-0 undriven and reject
+            # constant-1 (SIS rarely emits it for mapped netlists).
+            if rows[0][1] == "1":
+                raise BlifError("constant-1 drivers are unsupported")
+            continue
+        for name in in_names:
+            if name not in nets:
+                nets[name] = netlist.net(name)
+        cell_type = _cell_type_for_cover(rows)
+        inputs = [nets[name] for name in in_names]
+        output = nets[output_name]
+        cell_output = netlist.add_cell(cell_type, inputs)
+        # splice: redirect the created output onto the named net
+        netlist.cells[-1].output = output
+        output.driver = netlist.cells[-1]
+        netlist.nets.remove(cell_output)
+
+    for q_name, d_name in placeholder_dffs.items():
+        if d_name not in nets:
+            nets[d_name] = netlist.net(d_name)
+        from .netlist import Dff
+        flop = Dff(nets[d_name], nets[q_name])
+        nets[d_name].load_cap += DEFAULT_INPUT_CAP
+        netlist.dffs.append(flop)
+
+    for name in output_names:
+        if name not in nets:
+            raise BlifError("undefined output %r" % name)
+        netlist.mark_output(nets[name])
+    netlist._levelised = None
+    return netlist
+
+
+def load_blif(path):
+    """Parse the BLIF file at *path* into a :class:`Netlist`."""
+    with open(path) as fh:
+        return read_blif(fh)

@@ -1,0 +1,118 @@
+"""Combinational cell library.
+
+A deliberately small library in the spirit of the paper's decoder
+synthesis ("it was synthesized only with NOT and AND gates"), extended
+with the other two-input primitives needed for multiplexers and the
+arbiter FSM.  Each cell type carries:
+
+* an evaluation function over 0/1 inputs;
+* an *input capacitance* contribution — every cell input loads the net
+  that drives it, so a net's switched capacitance grows with fanout,
+  which is the physical origin of the paper's ``C_PD`` "equivalent
+  capacitance of one node".
+"""
+
+from __future__ import annotations
+
+
+def _inv(a):
+    return 1 - a
+
+
+def _buf(a):
+    return a
+
+
+def _and2(a, b):
+    return a & b
+
+
+def _or2(a, b):
+    return a | b
+
+
+def _nand2(a, b):
+    return 1 - (a & b)
+
+
+def _nor2(a, b):
+    return 1 - (a | b)
+
+
+def _xor2(a, b):
+    return a ^ b
+
+
+def _xnor2(a, b):
+    return 1 - (a ^ b)
+
+
+class CellType:
+    """A combinational cell kind.
+
+    Parameters
+    ----------
+    name:
+        Library name (``INV``, ``AND2``, ...).
+    n_inputs:
+        Number of input pins.
+    fn:
+        Evaluation function taking ``n_inputs`` 0/1 arguments.
+    input_cap:
+        Capacitance (farad) each input pin adds to its driving net.
+    """
+
+    __slots__ = ("name", "n_inputs", "fn", "input_cap")
+
+    def __init__(self, name, n_inputs, fn, input_cap):
+        self.name = name
+        self.n_inputs = n_inputs
+        self.fn = fn
+        self.input_cap = input_cap
+
+    def __repr__(self):
+        return "CellType(%s)" % self.name
+
+
+#: Default input-pin capacitance, farads.  Chosen so that a fanout-2
+#: node lands near the paper's implied per-node capacitance.
+DEFAULT_INPUT_CAP = 5e-15
+
+INV = CellType("INV", 1, _inv, DEFAULT_INPUT_CAP)
+BUF = CellType("BUF", 1, _buf, DEFAULT_INPUT_CAP)
+AND2 = CellType("AND2", 2, _and2, DEFAULT_INPUT_CAP)
+OR2 = CellType("OR2", 2, _or2, DEFAULT_INPUT_CAP)
+NAND2 = CellType("NAND2", 2, _nand2, DEFAULT_INPUT_CAP)
+NOR2 = CellType("NOR2", 2, _nor2, DEFAULT_INPUT_CAP)
+XOR2 = CellType("XOR2", 2, _xor2, DEFAULT_INPUT_CAP * 1.6)
+XNOR2 = CellType("XNOR2", 2, _xnor2, DEFAULT_INPUT_CAP * 1.6)
+
+LIBRARY = {cell.name: cell for cell in
+           (INV, BUF, AND2, OR2, NAND2, NOR2, XOR2, XNOR2)}
+
+
+def int_to_bits(value, width):
+    """Little-endian bit list of *value* over *width* bits.
+
+    >>> int_to_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    return [(value >> index) & 1 for index in range(width)]
+
+
+def bits_to_int(bits):
+    """Inverse of :func:`int_to_bits`.
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def hamming_int(a, b):
+    """Hamming distance between two non-negative integers."""
+    return bin(a ^ b).count("1")

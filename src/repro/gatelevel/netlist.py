@@ -1,0 +1,225 @@
+"""Gate-level netlists.
+
+A :class:`Netlist` is a directed graph of nets and cells with optional
+D flip-flops for sequential blocks.  The structure is deliberately
+simple: single-output cells, scalar nets, buses represented as lists of
+nets.  Combinational cells are levelised once (topological sort) so
+simulation is a linear sweep.
+"""
+
+from __future__ import annotations
+
+from .gates import BUF, LIBRARY, DEFAULT_INPUT_CAP
+
+
+class Net:
+    """A single wire.
+
+    ``base_cap`` models wire + driver output capacitance; every cell
+    input connected later adds its pin capacitance, so
+    :attr:`capacitance` reflects fanout.
+    """
+
+    __slots__ = ("name", "base_cap", "load_cap", "driver", "is_input",
+                 "is_output")
+
+    def __init__(self, name, base_cap):
+        self.name = name
+        self.base_cap = base_cap
+        self.load_cap = 0.0
+        self.driver = None
+        self.is_input = False
+        self.is_output = False
+
+    @property
+    def capacitance(self):
+        """Total switched capacitance of this net (farads)."""
+        return self.base_cap + self.load_cap
+
+    def __repr__(self):
+        return "Net(%r)" % self.name
+
+
+class Cell:
+    """A combinational cell instance."""
+
+    __slots__ = ("cell_type", "inputs", "output")
+
+    def __init__(self, cell_type, inputs, output):
+        self.cell_type = cell_type
+        self.inputs = tuple(inputs)
+        self.output = output
+
+    def evaluate(self, values):
+        """Compute the output value from the *values* dict."""
+        args = [values[net] for net in self.inputs]
+        return self.cell_type.fn(*args)
+
+    def __repr__(self):
+        return "Cell(%s -> %s)" % (self.cell_type.name, self.output.name)
+
+
+class Dff:
+    """A D flip-flop: ``q`` takes the value of ``d`` on each clock step.
+
+    The clock itself is implicit in the simulator's step loop; internal
+    clock-tree switching is charged via ``clock_cap`` every step.
+    """
+
+    __slots__ = ("d", "q", "clock_cap")
+
+    def __init__(self, d, q, clock_cap=DEFAULT_INPUT_CAP):
+        self.d = d
+        self.q = q
+        self.clock_cap = clock_cap
+
+    def __repr__(self):
+        return "Dff(%s -> %s)" % (self.d.name, self.q.name)
+
+
+class Netlist:
+    """A gate-level block with primary inputs, outputs, cells and DFFs."""
+
+    #: Default wire/driver capacitance per net, farads.
+    DEFAULT_NET_CAP = 2e-15
+
+    def __init__(self, name, net_cap=None):
+        self.name = name
+        self.net_cap = self.DEFAULT_NET_CAP if net_cap is None else net_cap
+        self.nets = []
+        self.cells = []
+        self.dffs = []
+        self.inputs = []
+        self.outputs = []
+        self._levelised = None
+
+    # -- construction ------------------------------------------------------
+
+    def net(self, name, base_cap=None):
+        """Create and return a fresh net."""
+        created = Net(name, self.net_cap if base_cap is None else base_cap)
+        self.nets.append(created)
+        return created
+
+    def add_input(self, name):
+        """Create a primary-input net."""
+        net = self.net(name)
+        net.is_input = True
+        self.inputs.append(net)
+        return net
+
+    def add_input_bus(self, name, width):
+        """Create *width* primary inputs named ``name[i]`` (LSB first)."""
+        return [self.add_input("%s[%d]" % (name, index))
+                for index in range(width)]
+
+    def mark_output(self, net, extra_cap=0.0):
+        """Declare *net* a primary output, adding output load."""
+        net.is_output = True
+        net.load_cap += extra_cap
+        self.outputs.append(net)
+        return net
+
+    def add_cell(self, cell_type, inputs, output_name=None):
+        """Instantiate *cell_type*; returns the output net."""
+        if isinstance(cell_type, str):
+            cell_type = LIBRARY[cell_type]
+        inputs = list(inputs)
+        if len(inputs) != cell_type.n_inputs:
+            raise ValueError(
+                "%s takes %d inputs, got %d"
+                % (cell_type.name, cell_type.n_inputs, len(inputs))
+            )
+        output = self.net(
+            output_name or "%s_%d" % (cell_type.name.lower(),
+                                      len(self.cells))
+        )
+        cell = Cell(cell_type, inputs, output)
+        output.driver = cell
+        for net in inputs:
+            net.load_cap += cell_type.input_cap
+        self.cells.append(cell)
+        self._levelised = None
+        return output
+
+    def add_dff(self, d_net, q_name=None):
+        """Add a flip-flop fed by *d_net*; returns the Q net."""
+        q = self.net(q_name or "q_%d" % len(self.dffs))
+        q.driver = None  # sequential; evaluated by the simulator
+        flop = Dff(d_net, q)
+        d_net.load_cap += DEFAULT_INPUT_CAP
+        self.dffs.append(flop)
+        self._levelised = None
+        return q
+
+    # -- reduction helpers --------------------------------------------------
+
+    def tree(self, cell_type, nets, output_name=None):
+        """Reduce *nets* with a balanced tree of 2-input cells.
+
+        The paper's wide AND/OR functions (n-input decoder minterms,
+        n-leg OR of a multiplexer) decompose into 2-input trees, which
+        is also what a technology mapper would produce.
+        """
+        if isinstance(cell_type, str):
+            cell_type = LIBRARY[cell_type]
+        nets = list(nets)
+        if not nets:
+            raise ValueError("tree reduction of zero nets")
+        while len(nets) > 1:
+            reduced = []
+            for index in range(0, len(nets) - 1, 2):
+                reduced.append(
+                    self.add_cell(cell_type, [nets[index], nets[index + 1]])
+                )
+            if len(nets) % 2:
+                reduced.append(nets[-1])
+            nets = reduced
+        if output_name is not None and nets[0].driver is None:
+            # A bare wire cannot be renamed meaningfully; buffer it.
+            return self.add_cell(BUF, [nets[0]], output_name=output_name)
+        return nets[0]
+
+    # -- analysis -------------------------------------------------------------
+
+    def levelise(self):
+        """Topologically order combinational cells (cached)."""
+        if self._levelised is not None:
+            return self._levelised
+        remaining = {id(cell): cell for cell in self.cells}
+        ready_nets = set(id(net) for net in self.inputs)
+        ready_nets.update(id(flop.q) for flop in self.dffs)
+        order = []
+        progress = True
+        while remaining and progress:
+            progress = False
+            for key in list(remaining):
+                cell = remaining[key]
+                if all(id(net) in ready_nets for net in cell.inputs):
+                    order.append(cell)
+                    ready_nets.add(id(cell.output))
+                    del remaining[key]
+                    progress = True
+        if remaining:
+            raise ValueError(
+                "netlist %r has a combinational cycle through %s"
+                % (self.name,
+                   ", ".join(cell.output.name
+                             for cell in remaining.values()))
+            )
+        self._levelised = order
+        return order
+
+    @property
+    def n_gates(self):
+        """Number of combinational cells."""
+        return len(self.cells)
+
+    def total_capacitance(self):
+        """Sum of all net capacitances (farads)."""
+        return sum(net.capacitance for net in self.nets)
+
+    def __repr__(self):
+        return "Netlist(%r, gates=%d, dffs=%d, nets=%d)" % (
+            self.name, len(self.cells), len(self.dffs), len(self.nets),
+        )

@@ -1,0 +1,134 @@
+"""Synthesis generators for the AHB sub-blocks.
+
+These build gate-level :class:`~repro.gatelevel.netlist.Netlist`
+implementations of the paper's structural decomposition, used to derive
+and validate the analytic energy macromodels (the role SIS played in
+the paper):
+
+* :func:`synth_one_hot_decoder` — the address decoder, "synthesized
+  only with NOT and AND gates" exactly as §5.1 describes;
+* :func:`synth_mux` — a ``w``-bit, ``n``-leg AND-OR multiplexer;
+* :func:`synth_priority_arbiter` — a fixed-priority arbiter with a
+  one-hot grant register ("a simple FSM ... of a simplified version of
+  the arbiter").
+"""
+
+from __future__ import annotations
+
+import math
+
+from .gates import AND2, INV, NOR2, OR2
+from .netlist import Netlist
+
+#: Extra load on primary outputs (the paper's ``C_O``), farads.
+DEFAULT_OUTPUT_CAP = 10e-15
+
+
+def decoder_input_bits(n_outputs):
+    """Number of select/address bits for an *n_outputs* decoder.
+
+    The paper words it as "the first integer number greater than
+    log2(n_O - 1)", which equals ``ceil(log2(n_O))`` for every n_O ≥ 2.
+    """
+    if n_outputs < 2:
+        raise ValueError("a decoder needs at least two outputs")
+    return max(1, math.ceil(math.log2(n_outputs)))
+
+
+def synth_one_hot_decoder(n_outputs, output_cap=DEFAULT_OUTPUT_CAP,
+                          name=None):
+    """Build a one-hot decoder from NOT and AND gates only.
+
+    Input bus ``a`` (LSB first); outputs ``y[k]`` for k in
+    ``0..n_outputs-1``.  Codes ≥ ``n_outputs`` drive all outputs low
+    (they do not occur on a bus with that many slaves).
+    """
+    n_in = decoder_input_bits(n_outputs)
+    netlist = Netlist(name or "decoder%d" % n_outputs)
+    addr = netlist.add_input_bus("a", n_in)
+    inverted = [netlist.add_cell(INV, [bit], output_name="an[%d]" % index)
+                for index, bit in enumerate(addr)]
+    for code in range(n_outputs):
+        literals = []
+        for bit_index in range(n_in):
+            if (code >> bit_index) & 1:
+                literals.append(addr[bit_index])
+            else:
+                literals.append(inverted[bit_index])
+        minterm = netlist.tree(AND2, literals, output_name="y[%d]" % code)
+        netlist.mark_output(minterm, extra_cap=output_cap)
+    return netlist
+
+
+def synth_mux(n_inputs, width, output_cap=DEFAULT_OUTPUT_CAP, name=None):
+    """Build a ``width``-bit, ``n_inputs``-leg AND-OR multiplexer.
+
+    Input buses ``d0..d{n-1}`` (the legs) and ``s`` (binary select);
+    outputs ``y[j]``.  The select is first decoded to one-hot (NOT/AND),
+    then each output bit is the OR-tree of ``leg AND onehot`` terms —
+    the canonical technology-mapped mux structure whose activity the
+    paper's ``E_MUX = f(w, n, HD_IN, HD_SEL)`` macromodel captures.
+    """
+    if n_inputs < 2:
+        raise ValueError("a multiplexer needs at least two legs")
+    if width < 1:
+        raise ValueError("width must be at least one bit")
+    n_sel = decoder_input_bits(n_inputs)
+    netlist = Netlist(name or "mux%dx%d" % (n_inputs, width))
+    legs = [netlist.add_input_bus("d%d" % leg, width)
+            for leg in range(n_inputs)]
+    select = netlist.add_input_bus("s", n_sel)
+
+    inverted = [netlist.add_cell(INV, [bit]) for bit in select]
+    onehot = []
+    for code in range(n_inputs):
+        literals = []
+        for bit_index in range(n_sel):
+            if (code >> bit_index) & 1:
+                literals.append(select[bit_index])
+            else:
+                literals.append(inverted[bit_index])
+        onehot.append(netlist.tree(AND2, literals))
+
+    for bit in range(width):
+        terms = [netlist.add_cell(AND2, [legs[leg][bit], onehot[leg]])
+                 for leg in range(n_inputs)]
+        out = netlist.tree(OR2, terms, output_name="y[%d]" % bit)
+        netlist.mark_output(out, extra_cap=output_cap)
+    return netlist
+
+
+def synth_priority_arbiter(n_requesters, default_index=0,
+                           output_cap=DEFAULT_OUTPUT_CAP, name=None):
+    """Build a fixed-priority arbiter with a registered one-hot grant.
+
+    Inputs ``req[i]``; outputs ``g[i]`` (one-hot grant, registered).
+    Priority is by ascending index; with no requests the grant parks on
+    ``default_index`` — the AHB default master.
+    """
+    if n_requesters < 2:
+        raise ValueError("an arbiter needs at least two requesters")
+    netlist = Netlist(name or "arbiter%d" % n_requesters)
+    requests = [netlist.add_input("req[%d]" % index)
+                for index in range(n_requesters)]
+
+    # next_grant[i] = req[i] AND none of req[0..i-1]
+    inverted = [netlist.add_cell(INV, [req]) for req in requests]
+    next_grant = [requests[0]]
+    for index in range(1, n_requesters):
+        mask = netlist.tree(AND2, inverted[:index])
+        next_grant.append(netlist.add_cell(AND2, [requests[index], mask]))
+
+    # none_requesting = NOR of all requests
+    none = netlist.tree(AND2, inverted)
+    if default_index == 0:
+        next_grant[0] = netlist.add_cell(OR2, [next_grant[0], none])
+    else:
+        next_grant[default_index] = netlist.add_cell(
+            OR2, [next_grant[default_index], none]
+        )
+
+    for index, d_net in enumerate(next_grant):
+        q = netlist.add_dff(d_net, q_name="g[%d]" % index)
+        netlist.mark_output(q, extra_cap=output_cap)
+    return netlist

@@ -1,0 +1,84 @@
+"""An event-driven, delta-cycle simulation kernel (SystemC substitute).
+
+The kernel provides everything the AMBA AHB model and the power
+methodology need from SystemC 2.0 / IPsim:
+
+* :class:`Simulator` — evaluate/update delta-cycle scheduler;
+* :class:`Signal` — delta-delayed values with edge events;
+* :class:`Module` — hierarchical containers of signals and processes;
+* :class:`Clock` — free-running clock generator;
+* :class:`Event` — notifiable synchronisation points;
+* :class:`VcdTracer` — IEEE-1364 waveform dumping;
+* :mod:`repro.kernel.time` — integer picosecond time helpers.
+"""
+
+from .clock import Clock
+from .errors import (
+    DeltaCycleLimitError,
+    ElaborationError,
+    KernelError,
+    ProcessError,
+    SimulationError,
+    TracingError,
+)
+from .events import Event, MethodProcess, ThreadProcess
+from .module import Module
+from .signal import Signal
+from .simulator import Simulator
+from .stats import ProcessProfile, SimulationProfiler
+from .trace import VcdTracer
+from .vcd_reader import VcdFile, VcdParseError, VcdSignal, load_vcd, read_vcd
+from .time import (
+    GHz,
+    Hz,
+    MHz,
+    clock_period,
+    format_time,
+    kHz,
+    ms,
+    ns,
+    ps,
+    seconds,
+    to_ns,
+    to_seconds,
+    to_us,
+    us,
+)
+
+__all__ = [
+    "Clock",
+    "DeltaCycleLimitError",
+    "ElaborationError",
+    "Event",
+    "GHz",
+    "Hz",
+    "KernelError",
+    "MHz",
+    "MethodProcess",
+    "Module",
+    "ProcessError",
+    "ProcessProfile",
+    "SimulationProfiler",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "ThreadProcess",
+    "TracingError",
+    "VcdFile",
+    "VcdParseError",
+    "VcdSignal",
+    "VcdTracer",
+    "clock_period",
+    "load_vcd",
+    "read_vcd",
+    "format_time",
+    "kHz",
+    "ms",
+    "ns",
+    "ps",
+    "seconds",
+    "to_ns",
+    "to_seconds",
+    "to_us",
+    "us",
+]

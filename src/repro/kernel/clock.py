@@ -1,0 +1,85 @@
+"""Clock generation.
+
+A :class:`Clock` owns a 1-bit signal toggled with a fixed period and
+duty cycle.  Sequential processes are sensitised on
+:attr:`Clock.posedge` (or :attr:`negedge`), exactly like an RTL design.
+"""
+
+from __future__ import annotations
+
+from .signal import Signal
+from .time import clock_period
+
+
+class Clock:
+    """A free-running clock driving a dedicated signal.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Signal name (the underlying signal is ``<name>``).
+    period:
+        Clock period in kernel time units (picoseconds).
+    duty:
+        Fraction of the period spent high, in ``(0, 1)``.
+    start_low:
+        When ``True`` (default) the first rising edge happens at
+        ``t = period - high_time``; the signal starts low so that reset
+        and initialisation logic can run before the first edge.
+    """
+
+    def __init__(self, sim, name, period, duty=0.5, start_low=True):
+        if period <= 0:
+            raise ValueError("clock period must be positive: %r" % period)
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty cycle must be in (0, 1): %r" % duty)
+        self.sim = sim
+        self.name = name
+        self.period = int(period)
+        self.high_time = max(1, int(round(self.period * duty)))
+        self.low_time = self.period - self.high_time
+        if self.low_time <= 0:
+            raise ValueError(
+                "duty cycle %r leaves no low time at period %d"
+                % (duty, self.period)
+            )
+        self.signal = Signal(sim, name, init=0, width=1)
+        self._start_low = start_low
+        self.cycles = 0
+        sim.add_thread(self._drive, name=name + ".driver")
+
+    @classmethod
+    def from_frequency(cls, sim, name, frequency_hz, **kwargs):
+        """Build a clock from a frequency in hertz (see
+        :func:`repro.kernel.time.clock_period`)."""
+        return cls(sim, name, clock_period(frequency_hz), **kwargs)
+
+    @property
+    def posedge(self):
+        """Rising-edge event of the clock signal."""
+        return self.signal.posedge
+
+    @property
+    def negedge(self):
+        """Falling-edge event of the clock signal."""
+        return self.signal.negedge
+
+    @property
+    def value(self):
+        """Current committed clock level (0 or 1)."""
+        return self.signal.value
+
+    def _drive(self):
+        if self._start_low:
+            yield self.low_time
+        while True:
+            self.signal.write(1)
+            self.cycles += 1
+            yield self.high_time
+            self.signal.write(0)
+            yield self.low_time
+
+    def __repr__(self):
+        return "Clock(%r, period=%d ps)" % (self.name, self.period)

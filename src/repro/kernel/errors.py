@@ -1,0 +1,42 @@
+"""Exception hierarchy for the simulation kernel.
+
+All kernel-raised exceptions derive from :class:`KernelError` so that
+callers can catch simulation problems without masking unrelated bugs.
+"""
+
+
+class KernelError(Exception):
+    """Base class for every error raised by :mod:`repro.kernel`."""
+
+
+class SimulationError(KernelError):
+    """An error detected while the simulation is running."""
+
+
+class DeltaCycleLimitError(SimulationError):
+    """Too many delta cycles elapsed without time advancing.
+
+    This almost always indicates a zero-delay combinational feedback
+    loop: a set of method processes that keep re-triggering each other
+    through signal writes that never reach a fixed point.
+    """
+
+
+class ProcessError(SimulationError):
+    """A user process raised an exception during evaluation."""
+
+    def __init__(self, process_name, original):
+        super().__init__(
+            "process %r raised %s: %s"
+            % (process_name, type(original).__name__, original)
+        )
+        self.process_name = process_name
+        self.original = original
+
+
+class ElaborationError(KernelError):
+    """The model is structurally invalid (bad binding, duplicate names, ...)."""
+
+
+class TracingError(KernelError):
+    """A waveform tracing operation failed."""

@@ -1,0 +1,83 @@
+"""Hierarchical modules.
+
+A :class:`Module` is a named container of signals and processes, the
+Python analogue of ``sc_module``.  Subclasses create signals and child
+modules in ``__init__`` and register behaviour with :meth:`method` and
+:meth:`thread`.
+"""
+
+from __future__ import annotations
+
+from .errors import ElaborationError
+from .signal import Signal
+
+
+class Module:
+    """Base class for hierarchical hardware models.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Instance name.  Hierarchical names are formed by joining parent
+        and child names with ``.`` when a parent is supplied.
+    parent:
+        Optional enclosing :class:`Module`.
+    """
+
+    def __init__(self, sim, name, parent=None):
+        self.sim = sim
+        self.basename = name
+        self.parent = parent
+        self.children = []
+        if parent is not None:
+            if any(child.basename == name for child in parent.children):
+                raise ElaborationError(
+                    "duplicate child name %r under %r" % (name, parent.name)
+                )
+            parent.children.append(self)
+            self.name = parent.name + "." + name
+        else:
+            self.name = name
+
+    # -- construction helpers -------------------------------------------
+
+    def signal(self, name, init=0, width=1):
+        """Create a signal scoped under this module's name."""
+        return Signal(self.sim, self.name + "." + name, init=init, width=width)
+
+    def method(self, fn, sensitivity, name=None, initialize=True):
+        """Register a combinational method process on this module."""
+        return self.sim.add_method(
+            fn,
+            sensitivity,
+            name=self.name + "." + (name or fn.__name__),
+            initialize=initialize,
+        )
+
+    def thread(self, generator_fn, name=None):
+        """Register a thread process on this module."""
+        return self.sim.add_thread(
+            generator_fn, name=self.name + "." + (name or generator_fn.__name__)
+        )
+
+    # -- hierarchy walking ------------------------------------------------
+
+    def iter_modules(self):
+        """Yield this module and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_modules()
+
+    def find(self, relative_name):
+        """Return the descendant whose name relative to this module is
+        ``relative_name`` (dot separated), or raise ``KeyError``."""
+        target = self.name + "." + relative_name
+        for module in self.iter_modules():
+            if module.name == target:
+                return module
+        raise KeyError(relative_name)
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)

@@ -1,0 +1,148 @@
+"""Signals: the kernel's communication primitive.
+
+A :class:`Signal` carries a value between processes with SystemC
+evaluate/update semantics: ``write`` stages a *next* value which only
+becomes visible in the update phase at the end of the current delta
+cycle.  Every process evaluated in a given delta therefore observes a
+consistent snapshot, which is what makes register-transfer style models
+race-free.
+
+Three events are exposed per signal:
+
+* ``changed`` — the committed value differs from the previous one;
+* ``posedge`` — the value went from falsy to truthy;
+* ``negedge`` — the value went from truthy to falsy.
+"""
+
+from __future__ import annotations
+
+from .events import Event
+
+
+class Signal:
+    """A single-driver, delta-delayed value holder.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Hierarchical diagnostic name.
+    init:
+        Initial committed value (default ``0``).
+    width:
+        Bit width used for waveform tracing and activity monitoring of
+        integer-valued signals.  ``1`` models a wire; wider values model
+        buses.  Purely informational for the kernel itself.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "width",
+        "_value",
+        "_next",
+        "_staged",
+        "changed",
+        "_posedge",
+        "_negedge",
+        "_watchers",
+    )
+
+    def __init__(self, sim, name="signal", init=0, width=1):
+        self.sim = sim
+        self.name = name
+        self.width = width
+        self._value = init
+        self._next = init
+        self._staged = False
+        self.changed = Event(sim, name + ".changed")
+        self._posedge = None
+        self._negedge = None
+        self._watchers = None
+        sim._register_signal(self)
+
+    # -- value access -------------------------------------------------
+
+    @property
+    def value(self):
+        """The committed value visible to every process this delta."""
+        return self._value
+
+    def read(self):
+        """Return the committed value (alias of :attr:`value`)."""
+        return self._value
+
+    def write(self, value):
+        """Stage *value* to be committed in the next update phase.
+
+        Writing the already-committed value is a no-op and produces no
+        ``changed`` event, matching SystemC's ``sc_signal`` behaviour.
+        """
+        self._next = value
+        if not self._staged:
+            self._staged = True
+            self.sim._schedule_update(self)
+
+    def force(self, value):
+        """Immediately overwrite the committed value.
+
+        Only for testbench initialisation *before* the simulation runs;
+        no events fire.  Inside processes use :meth:`write`.
+        """
+        self._value = value
+        self._next = value
+
+    # -- edge events (lazily created) ----------------------------------
+
+    @property
+    def posedge(self):
+        """Event fired when the committed value rises (falsy → truthy)."""
+        if self._posedge is None:
+            self._posedge = Event(self.sim, self.name + ".posedge")
+        return self._posedge
+
+    @property
+    def negedge(self):
+        """Event fired when the committed value falls (truthy → falsy)."""
+        if self._negedge is None:
+            self._negedge = Event(self.sim, self.name + ".negedge")
+        return self._negedge
+
+    def add_watcher(self, callback):
+        """Register ``callback(signal, old, new)`` to run on each commit.
+
+        Watchers run during the update phase and must not write signals;
+        they exist for tracing and activity monitoring.
+        """
+        if self._watchers is None:
+            self._watchers = []
+        self._watchers.append(callback)
+
+    # -- kernel hooks ---------------------------------------------------
+
+    def _commit(self, runnable):
+        """Commit the staged value and fire edge events into *runnable*."""
+        self._staged = False
+        old = self._value
+        new = self._next
+        if new == old:
+            return
+        self._value = new
+        self.changed._fire(runnable)
+        if self._posedge is not None and not old and new:
+            self._posedge._fire(runnable)
+        if self._negedge is not None and old and not new:
+            self._negedge._fire(runnable)
+        if self._watchers is not None:
+            for callback in self._watchers:
+                callback(self, old, new)
+
+    def __repr__(self):
+        return "Signal(%r, value=%r)" % (self.name, self._value)
+
+    def __bool__(self):
+        raise TypeError(
+            "truth-testing a Signal is ambiguous; use sig.value "
+            "(signal %r)" % self.name
+        )

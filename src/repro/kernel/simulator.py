@@ -1,0 +1,235 @@
+"""The discrete-event simulator.
+
+Implements the classic two-phase (evaluate/update) delta-cycle scheduler
+used by SystemC and VHDL simulators:
+
+1. **Evaluate** — run every runnable process.  Processes read committed
+   signal values, stage writes, notify events and schedule timed waits.
+2. **Update** — commit staged signal values and fire delta-notified
+   events; every process woken by those events becomes runnable for the
+   next delta cycle.
+3. When no process is runnable the simulator advances time to the next
+   timed entry (a thread wake-up or a timed event notification).
+
+The scheduler is deterministic: processes are evaluated in the order
+they became runnable and timed entries are tie-broken by insertion
+sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .errors import DeltaCycleLimitError, ProcessError, SimulationError
+from .events import Event, MethodProcess, ThreadProcess
+from .time import format_time
+
+
+class Simulator:
+    """Owner of simulated time, processes, signals and events.
+
+    Typical use::
+
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        dut = MyModule(sim, "dut", clk)
+        sim.run(until=us(50))
+
+    Parameters
+    ----------
+    max_delta_cycles:
+        Safety limit on delta cycles within one time step; exceeding it
+        raises :class:`DeltaCycleLimitError` (combinational loop guard).
+    """
+
+    def __init__(self, max_delta_cycles=10_000):
+        self.now = 0
+        self.max_delta_cycles = max_delta_cycles
+        self._runnable = []
+        self._update_queue = []
+        self._delta_events = []
+        self._timed = []
+        self._sequence = 0
+        self._signals = []
+        self._processes = []
+        self._stop_requested = False
+        self._running = False
+        self.delta_count = 0
+
+    # -- construction hooks (used by Signal / Module / processes) ------
+
+    def _register_signal(self, signal):
+        self._signals.append(signal)
+
+    def _make_runnable(self, process):
+        self._runnable.append(process)
+
+    def _schedule_update(self, signal):
+        self._update_queue.append(signal)
+
+    def _schedule_delta_event(self, event):
+        self._delta_events.append(event)
+
+    def _next_seq(self):
+        self._sequence += 1
+        return self._sequence
+
+    def _schedule_timed_event(self, event, delay):
+        heapq.heappush(
+            self._timed, (self.now + delay, self._next_seq(), "event", event)
+        )
+
+    def _schedule_timed_wake(self, process, delay):
+        heapq.heappush(
+            self._timed, (self.now + delay, self._next_seq(), "wake", process)
+        )
+
+    # -- public construction API ---------------------------------------
+
+    def event(self, name="event"):
+        """Create a standalone :class:`Event` owned by this simulator."""
+        return Event(self, name)
+
+    def add_method(self, fn, sensitivity, name=None, initialize=True):
+        """Register a method process (combinational callback).
+
+        ``sensitivity`` is an iterable of events or signals; the process
+        re-runs whenever any of them fires.  With ``initialize=True``
+        (the default, as in SystemC) the process also runs once at
+        simulation start so outputs reach a consistent initial state.
+        """
+        process = MethodProcess(
+            self,
+            name or getattr(fn, "__qualname__", "method"),
+            fn,
+            sensitivity,
+            initialize=initialize,
+        )
+        self._processes.append(process)
+        return process
+
+    def add_thread(self, generator_fn, name=None):
+        """Register a thread process from a generator function."""
+        process = ThreadProcess(
+            self, name or getattr(generator_fn, "__qualname__", "thread"),
+            generator_fn,
+        )
+        self._processes.append(process)
+        return process
+
+    # -- execution ------------------------------------------------------
+
+    def stop(self):
+        """Request the current :meth:`run` call to return at the next
+        delta boundary (usable from inside processes)."""
+        self._stop_requested = True
+
+    def run(self, until=None, max_time_steps=None):
+        """Advance the simulation.
+
+        Parameters
+        ----------
+        until:
+            Absolute kernel time at which to stop.  Timed activity
+            scheduled strictly after ``until`` is left pending and the
+            clock :attr:`now` is set to ``until``.  ``None`` runs until
+            no timed activity remains (event starvation).
+        max_time_steps:
+            Optional cap on the number of distinct time points
+            processed, as an extra runaway guard for tests.
+
+        Returns the kernel time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        steps = 0
+        try:
+            while True:
+                self._settle_deltas()
+                if self._stop_requested:
+                    break
+                if not self._timed:
+                    break
+                next_time = self._timed[0][0]
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.now = next_time
+                self._dispatch_timed(next_time)
+                steps += 1
+                if max_time_steps is not None and steps >= max_time_steps:
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    # -- scheduler internals ---------------------------------------------
+
+    def _settle_deltas(self):
+        """Run evaluate/update cycles until no process is runnable."""
+        deltas = 0
+        while self._runnable or self._update_queue or self._delta_events:
+            deltas += 1
+            self.delta_count += 1
+            if deltas > self.max_delta_cycles:
+                raise DeltaCycleLimitError(
+                    "exceeded %d delta cycles at %s; probable zero-delay "
+                    "combinational loop"
+                    % (self.max_delta_cycles, format_time(self.now))
+                )
+            runnable, self._runnable = self._runnable, []
+            for process in runnable:
+                if process.terminated:
+                    continue
+                try:
+                    process.run_fn()
+                except (SimulationError, KeyboardInterrupt):
+                    raise
+                except Exception as exc:
+                    raise ProcessError(process.name, exc) from exc
+            self._update_phase()
+            if self._stop_requested:
+                return
+
+    def _update_phase(self):
+        """Commit staged signals and fire delta events."""
+        next_runnable = self._runnable
+        if self._update_queue:
+            updates, self._update_queue = self._update_queue, []
+            for signal in updates:
+                signal._commit(next_runnable)
+        if self._delta_events:
+            fired, self._delta_events = self._delta_events, []
+            for event in fired:
+                event._fire(next_runnable)
+
+    def _dispatch_timed(self, at_time):
+        """Pop every timed entry scheduled for *at_time*."""
+        while self._timed and self._timed[0][0] == at_time:
+            _, _, kind, payload = heapq.heappop(self._timed)
+            if kind == "wake":
+                if not payload.terminated:
+                    self._runnable.append(payload)
+            else:
+                payload._fire(self._runnable)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def signals(self):
+        """Tuple of every signal registered with this simulator."""
+        return tuple(self._signals)
+
+    @property
+    def processes(self):
+        """Tuple of every process registered with this simulator."""
+        return tuple(self._processes)
+
+    def __repr__(self):
+        return "Simulator(now=%s, processes=%d, signals=%d)" % (
+            format_time(self.now),
+            len(self._processes),
+            len(self._signals),
+        )

@@ -1,0 +1,112 @@
+"""Simulation-time units.
+
+The kernel keeps time as an integer count of **picoseconds**.  Integer
+time makes event ordering exact (no floating-point ties) and is the same
+choice SystemC makes with ``sc_time``'s integral femtosecond counter.
+
+Helper constructors are provided for the usual engineering units::
+
+    from repro.kernel.time import ns, us, MHz
+
+    period = ns(10)          # 10 ns  -> 10_000 ps
+    horizon = us(50)         # 50 us  -> 50_000_000 ps
+    period = clock_period(MHz(100))   # 10_000 ps
+"""
+
+from __future__ import annotations
+
+#: Number of picoseconds per unit.
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+S = 1_000_000_000_000
+
+
+def ps(value: float) -> int:
+    """Return *value* picoseconds as integer kernel time."""
+    return int(round(value * PS))
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as integer kernel time."""
+    return int(round(value * NS))
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as integer kernel time."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as integer kernel time."""
+    return int(round(value * MS))
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds as integer kernel time."""
+    return int(round(value * S))
+
+
+def Hz(value: float) -> float:
+    """Identity helper so call sites read ``clock_period(Hz(1e8))``."""
+    return float(value)
+
+
+def kHz(value: float) -> float:
+    """Return *value* kilohertz in hertz."""
+    return float(value) * 1e3
+
+
+def MHz(value: float) -> float:
+    """Return *value* megahertz in hertz."""
+    return float(value) * 1e6
+
+
+def GHz(value: float) -> float:
+    """Return *value* gigahertz in hertz."""
+    return float(value) * 1e9
+
+
+def clock_period(frequency_hz: float) -> int:
+    """Return the clock period, in kernel time, of *frequency_hz*.
+
+    >>> clock_period(MHz(100))
+    10000
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive, got %r" % frequency_hz)
+    return int(round(S / frequency_hz))
+
+
+def to_seconds(kernel_time: int) -> float:
+    """Convert integer kernel time (ps) to floating-point seconds."""
+    return kernel_time / S
+
+
+def to_ns(kernel_time: int) -> float:
+    """Convert integer kernel time (ps) to floating-point nanoseconds."""
+    return kernel_time / NS
+
+
+def to_us(kernel_time: int) -> float:
+    """Convert integer kernel time (ps) to floating-point microseconds."""
+    return kernel_time / US
+
+
+def format_time(kernel_time: int) -> str:
+    """Render kernel time with an auto-selected engineering unit.
+
+    >>> format_time(10_000)
+    '10.000 ns'
+    """
+    magnitude = abs(kernel_time)
+    if magnitude >= S:
+        return "%.3f s" % (kernel_time / S)
+    if magnitude >= MS:
+        return "%.3f ms" % (kernel_time / MS)
+    if magnitude >= US:
+        return "%.3f us" % (kernel_time / US)
+    if magnitude >= NS:
+        return "%.3f ns" % (kernel_time / NS)
+    return "%d ps" % kernel_time

@@ -1,0 +1,133 @@
+"""Value-change-dump (VCD) waveform tracing.
+
+:class:`VcdTracer` records committed value changes of selected signals
+into an IEEE-1364 VCD file that can be opened with GTKWave or any other
+waveform viewer.  Tracing hooks into :meth:`Signal.add_watcher`, so it
+adds no overhead to untraced signals and never perturbs simulation
+semantics.
+"""
+
+from __future__ import annotations
+
+from .errors import TracingError
+
+_IDENT_ALPHABET = (
+    "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+)
+
+
+def _identifier(index):
+    """Return the VCD short identifier for the *index*-th variable."""
+    base = len(_IDENT_ALPHABET)
+    digits = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, base)
+        digits.append(_IDENT_ALPHABET[rem])
+    return "".join(reversed(digits))
+
+
+def _format_value(value, width):
+    """Render *value* as a VCD scalar or vector token."""
+    if width == 1:
+        return "%d" % (1 if value else 0)
+    if value < 0:
+        value &= (1 << width) - 1
+    return "b%s " % format(value, "b")
+
+
+class VcdTracer:
+    """Streams signal changes into a VCD file.
+
+    Typical use::
+
+        tracer = VcdTracer(sim, "waves.vcd", timescale="1ps")
+        tracer.trace(bus.haddr, "HADDR")
+        ...
+        sim.run(until=us(4))
+        tracer.close()
+
+    The tracer may also be used as a context manager.
+    """
+
+    def __init__(self, sim, path, timescale="1ps", date="", comment=""):
+        self.sim = sim
+        self.path = path
+        self._fh = open(path, "w")
+        self._vars = []
+        self._header_written = False
+        self._last_time = None
+        self._timescale = timescale
+        self._date = date
+        self._comment = comment
+        self._closed = False
+
+    def trace(self, signal, name=None):
+        """Register *signal* for tracing under display name *name*."""
+        if self._header_written:
+            raise TracingError(
+                "cannot add traces after the first value was recorded"
+            )
+        ident = _identifier(len(self._vars))
+        display = name or signal.name
+        self._vars.append((signal, display, ident))
+        signal.add_watcher(
+            lambda sig, old, new, ident=ident: self._record(ident, sig, new)
+        )
+        return ident
+
+    def _write_header(self):
+        fh = self._fh
+        if self._date:
+            fh.write("$date %s $end\n" % self._date)
+        if self._comment:
+            fh.write("$comment %s $end\n" % self._comment)
+        fh.write("$timescale %s $end\n" % self._timescale)
+        fh.write("$scope module top $end\n")
+        for signal, display, ident in self._vars:
+            safe = display.replace(" ", "_")
+            fh.write("$var wire %d %s %s $end\n" % (signal.width, ident, safe))
+        fh.write("$upscope $end\n$enddefinitions $end\n")
+        fh.write("$dumpvars\n")
+        for signal, _, ident in self._vars:
+            fh.write(
+                "%s%s\n" % (_format_value(signal.value, signal.width), ident)
+            )
+        fh.write("$end\n")
+        self._header_written = True
+        self._last_time = 0
+
+    def _record(self, ident, signal, new):
+        if self._closed:
+            return
+        if not self._header_written:
+            self._write_header()
+        now = self.sim.now
+        if now != self._last_time:
+            self._fh.write("#%d\n" % now)
+            self._last_time = now
+        self._fh.write("%s%s\n" % (_format_value(new, signal.width), ident))
+
+    def flush(self):
+        """Flush buffered VCD output to disk."""
+        if not self._header_written:
+            self._write_header()
+        self._fh.flush()
+
+    def close(self):
+        """Finalise and close the VCD file (idempotent)."""
+        if self._closed:
+            return
+        if not self._header_written:
+            self._write_header()
+        self._fh.write("#%d\n" % self.sim.now)
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -1,0 +1,205 @@
+"""IP characterisation: fitting macromodels from gate level (paper §3).
+
+"Once the instruction set has been identified, it is necessary to
+characterize each instruction in terms of dissipated power ... it could
+be necessary to run lower-level simulations."  This module runs the
+gate-level netlists of :mod:`repro.gatelevel` under random stimulus,
+extracts (Hamming-distance feature, measured energy) pairs and fits
+linear macromodels by least squares — the derive-and-validate loop the
+paper performed with SIS.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..gatelevel import (
+    GateLevelSimulator,
+    hamming_int,
+    synth_mux,
+    synth_one_hot_decoder,
+    synth_priority_arbiter,
+)
+from .macromodels import FittedMacromodel
+
+
+class CharacterizationResult:
+    """A fitted macromodel plus its validation statistics."""
+
+    def __init__(self, model, measured, predicted, feature_names):
+        self.model = model
+        self.measured = np.asarray(measured)
+        self.predicted = np.asarray(predicted)
+        self.feature_names = tuple(feature_names)
+
+    @property
+    def rmse(self):
+        """Root-mean-square error (joules)."""
+        return float(np.sqrt(np.mean(
+            (self.measured - self.predicted) ** 2
+        )))
+
+    @property
+    def mean_relative_error(self):
+        """Mean |error| / mean measured energy — the headline accuracy
+        figure for macromodel-vs-gate-level validation."""
+        scale = float(np.mean(np.abs(self.measured)))
+        if scale == 0:
+            return 0.0
+        return float(np.mean(np.abs(self.measured - self.predicted))
+                     / scale)
+
+    @property
+    def total_energy_error(self):
+        """Relative error of the *summed* energy (what a long
+        simulation accumulates)."""
+        total = float(self.measured.sum())
+        if total == 0:
+            return 0.0
+        return abs(float(self.predicted.sum()) - total) / total
+
+    def __repr__(self):
+        return ("CharacterizationResult(rmse=%.3e, rel_err=%.2f%%, "
+                "total_err=%.2f%%)"
+                % (self.rmse, 100 * self.mean_relative_error,
+                   100 * self.total_energy_error))
+
+
+def fit_linear_model(feature_rows, energies, feature_names,
+                     fit_intercept=True):
+    """Least-squares fit of ``energy ≈ intercept + Σ c_k · feature_k``.
+
+    Negative fitted coefficients are clamped at zero and the fit is
+    repeated without the clamped features, keeping the macromodel
+    physically meaningful (capacitances cannot be negative).
+    """
+    rows = np.asarray(feature_rows, dtype=float)
+    target = np.asarray(energies, dtype=float)
+    if rows.ndim != 2 or rows.shape[0] != target.shape[0]:
+        raise ValueError("feature matrix / energy length mismatch")
+    n_features = rows.shape[1]
+    if len(feature_names) != n_features:
+        raise ValueError("feature name count mismatch")
+
+    active = list(range(n_features))
+    while True:
+        columns = rows[:, active]
+        if fit_intercept:
+            design = np.hstack([columns, np.ones((rows.shape[0], 1))])
+        else:
+            design = columns
+        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+        coeffs = solution[:len(active)]
+        intercept = float(solution[-1]) if fit_intercept else 0.0
+        negative = [index for index, value in zip(active, coeffs)
+                    if value < 0]
+        if not negative:
+            break
+        active = [index for index in active if index not in negative]
+        if not active:
+            coeffs = []
+            intercept = float(np.mean(target)) if fit_intercept else 0.0
+            break
+
+    full = [0.0] * n_features
+    for index, value in zip(active, coeffs):
+        full[index] = float(value)
+    return FittedMacromodel(feature_names, full,
+                            intercept=max(0.0, intercept))
+
+
+def characterize_decoder(n_outputs, vdd=1.8, samples=400, seed=1):
+    """Fit ``E_DEC ≈ a·HD_IN + b·HD_OUT`` from the gate-level decoder.
+
+    Returns a :class:`CharacterizationResult`.  The fitted shape should
+    (and does — see the validation bench) match the paper's linear
+    macromodel.
+    """
+    netlist = synth_one_hot_decoder(n_outputs)
+    simulator = GateLevelSimulator(netlist, vdd=vdd)
+    n_in = len(netlist.inputs)
+    rng = random.Random(seed)
+
+    rows, energies = [], []
+    previous = 0
+    simulator.step_ints(a=0)
+    for _ in range(samples):
+        code = rng.randrange(n_outputs)
+        result = simulator.step_ints(a=code)
+        hd_in = hamming_int(previous, code)
+        hd_out = 1 if hd_in else 0
+        rows.append([hd_in, hd_out])
+        energies.append(result.energy)
+        previous = code
+    model = fit_linear_model(rows, energies, ("hd_in", "hd_out"),
+                             fit_intercept=False)
+    predicted = [model.energy(hd_in=row[0], hd_out=row[1])
+                 for row in rows]
+    return CharacterizationResult(model, energies, predicted,
+                                  ("hd_in", "hd_out"))
+
+
+def characterize_mux(n_inputs, width, vdd=1.8, samples=500, seed=2,
+                     select_change_probability=0.2):
+    """Fit ``E_MUX ≈ a·HD_OUT + b·HD_SEL`` from the gate-level mux."""
+    netlist = synth_mux(n_inputs, width)
+    simulator = GateLevelSimulator(netlist, vdd=vdd)
+    rng = random.Random(seed)
+
+    legs = [0] * n_inputs
+    select = 0
+    simulator.step_ints(**{"d%d" % i: 0 for i in range(n_inputs)}, s=0)
+    feature_rows, energies = [], []
+    prev_select = 0
+    prev_out = 0
+    for _ in range(samples):
+        if rng.random() < select_change_probability:
+            select = rng.randrange(n_inputs)
+        # Toggle a random subset of the selected leg's bits.
+        flip = rng.getrandbits(width) & rng.getrandbits(width)
+        legs[select] ^= flip
+        result = simulator.step_ints(
+            **{"d%d" % i: legs[i] for i in range(n_inputs)}, s=select,
+        )
+        new_out = legs[select]
+        hd_out = hamming_int(prev_out, new_out)
+        hd_sel = hamming_int(prev_select, select)
+        feature_rows.append([hd_out, hd_sel])
+        energies.append(result.energy)
+        prev_select = select
+        prev_out = new_out
+    model = fit_linear_model(feature_rows, energies,
+                             ("hd_out", "hd_sel"), fit_intercept=False)
+    predicted = [model.energy(hd_out=row[0], hd_sel=row[1])
+                 for row in feature_rows]
+    return CharacterizationResult(model, energies, predicted,
+                                  ("hd_out", "hd_sel"))
+
+
+def characterize_arbiter(n_requesters, vdd=1.8, samples=500, seed=3):
+    """Fit ``E_ARB ≈ a·HD_REQ + b·handover + c`` from gate level."""
+    netlist = synth_priority_arbiter(n_requesters)
+    simulator = GateLevelSimulator(netlist, vdd=vdd)
+    rng = random.Random(seed)
+
+    rows, energies = [], []
+    prev_req = 0
+    prev_grant = simulator.output_int()
+    for _ in range(samples):
+        req = rng.getrandbits(n_requesters)
+        result = simulator.step_ints(req=req)
+        grant = simulator.output_int()
+        hd_req = hamming_int(prev_req, req)
+        handover = 1 if grant != prev_grant else 0
+        rows.append([hd_req, handover])
+        energies.append(result.energy)
+        prev_req = req
+        prev_grant = grant
+    model = fit_linear_model(rows, energies, ("hd_req", "handover"),
+                             fit_intercept=True)
+    predicted = [model.energy(hd_req=row[0], handover=row[1])
+                 for row in rows]
+    return CharacterizationResult(model, energies, predicted,
+                                  ("hd_req", "handover"))

@@ -1,0 +1,164 @@
+"""Dynamic power management (paper §4 extension).
+
+The paper notes the power-analysis code stays out of synthesis "unless
+it is necessary to develop a dynamic power management for a run-time
+energy optimization of the system".  This module develops exactly that:
+a clock-gate controller that uses the same activity information the
+power FSM observes to gate the bus clock tree during idle windows, plus
+an evaluator that quantifies the savings a gating policy would deliver
+on a recorded instruction stream.
+
+The controller is *functional* (it runs inside the simulation and its
+decisions are visible cycle by cycle); the energy effect is modelled by
+the :class:`~repro.power.monitors.GlobalPowerMonitor` when constructed
+with ``clock_gate=`` and ``with_clock_tree=True``.
+"""
+
+from __future__ import annotations
+
+from ..amba.types import HTRANS
+from ..kernel import Module
+from .instructions import BusMode, current_mode_of
+
+
+class ClockGateController(Module):
+    """Idle-window clock gating for the AHB clock tree.
+
+    Gating policy: after ``idle_threshold`` consecutive cycles with no
+    active transfer and no pending bus request, assert :attr:`gated`;
+    de-assert it the moment any master requests the bus (one wake-up
+    cycle of extra clock-tree charge is modelled by the monitor).
+
+    Parameters
+    ----------
+    bus:
+        The :class:`~repro.amba.bus.AhbBus` whose activity is watched.
+    idle_threshold:
+        Consecutive quiet cycles before the clock gates.
+    """
+
+    def __init__(self, sim, name, bus, idle_threshold=4, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if idle_threshold < 1:
+            raise ValueError("idle threshold must be at least 1 cycle")
+        self.bus = bus
+        self.idle_threshold = int(idle_threshold)
+        self.gated = self.signal("gated", init=0, width=1)
+        self._idle_streak = 0
+        #: Statistics.
+        self.gated_cycles = 0
+        self.gate_events = 0
+        self.wake_events = 0
+        self.method(self._on_clk, [bus.clk.posedge], name="policy",
+                    initialize=False)
+
+    def _bus_quiet(self):
+        if self.bus.htrans.value != int(HTRANS.IDLE):
+            return False
+        return not any(port.hbusreq.value
+                       for port in self.bus.master_ports)
+
+    def _on_clk(self):
+        if self.gated.value:
+            self.gated_cycles += 1
+        if self._bus_quiet():
+            self._idle_streak += 1
+            if self._idle_streak >= self.idle_threshold and \
+                    not self.gated.value:
+                self.gated.write(1)
+                self.gate_events += 1
+        else:
+            self._idle_streak = 0
+            if self.gated.value:
+                self.gated.write(0)
+                self.wake_events += 1
+
+    @property
+    def gated_fraction(self):
+        """Fraction of elapsed cycles spent gated (approximate)."""
+        cycles = self.bus.clk.cycles
+        if not cycles:
+            return 0.0
+        return self.gated_cycles / cycles
+
+
+class GatingEvaluation:
+    """Outcome of :func:`evaluate_gating_policy`."""
+
+    def __init__(self, idle_threshold, baseline_energy, gated_energy,
+                 gated_cycles, wake_events, total_cycles):
+        self.idle_threshold = idle_threshold
+        self.baseline_energy = baseline_energy
+        self.gated_energy = gated_energy
+        self.gated_cycles = gated_cycles
+        self.wake_events = wake_events
+        self.total_cycles = total_cycles
+
+    @property
+    def savings(self):
+        """Energy saved (joules)."""
+        return self.baseline_energy - self.gated_energy
+
+    @property
+    def savings_fraction(self):
+        """Savings relative to the baseline clock-tree energy."""
+        if self.baseline_energy == 0:
+            return 0.0
+        return self.savings / self.baseline_energy
+
+    def __repr__(self):
+        return ("GatingEvaluation(threshold=%d, saves %.1f%% of the "
+                "clock tree, %d wakes)"
+                % (self.idle_threshold, 100 * self.savings_fraction,
+                   self.wake_events))
+
+
+def evaluate_gating_policy(instruction_log, idle_threshold,
+                           clock_tree_energy_per_cycle,
+                           wake_penalty_factor=2.0):
+    """What-if analysis of a gating threshold on a recorded run.
+
+    Parameters
+    ----------
+    instruction_log:
+        ``[(time_ps, instruction_name, energy), ...]`` as produced by
+        :meth:`PowerFsm.enable_logging` — the per-cycle activity record.
+    idle_threshold:
+        Candidate gating threshold in cycles.
+    clock_tree_energy_per_cycle:
+        Joules the ungated clock tree burns each cycle.
+    wake_penalty_factor:
+        Extra clock-tree charges on each wake-up cycle.
+
+    Returns a :class:`GatingEvaluation`.  Replaying the log applies the
+    same policy as :class:`ClockGateController`, so the what-if numbers
+    match a live controller run on the same stimulus.
+    """
+    quiet_modes = (BusMode.IDLE, BusMode.IDLE_HO)
+    streak = 0
+    gated = False
+    gated_cycles = 0
+    wake_events = 0
+    for _, instruction, _ in instruction_log:
+        quiet = current_mode_of(instruction) in quiet_modes
+        if gated:
+            gated_cycles += 1
+        if quiet:
+            streak += 1
+            if streak >= idle_threshold and not gated:
+                gated = True
+        else:
+            streak = 0
+            if gated:
+                gated = False
+                wake_events += 1
+
+    total_cycles = len(instruction_log)
+    baseline = clock_tree_energy_per_cycle * total_cycles
+    gated_energy = (
+        clock_tree_energy_per_cycle * (total_cycles - gated_cycles)
+        + wake_events * wake_penalty_factor
+        * clock_tree_energy_per_cycle
+    )
+    return GatingEvaluation(idle_threshold, baseline, gated_energy,
+                            gated_cycles, wake_events, total_cycles)

@@ -1,0 +1,147 @@
+"""Energy accounting.
+
+The :class:`EnergyLedger` is the single sink every power model charges
+into.  It keeps three mutually consistent views:
+
+* **per block** — the paper's structural decomposition (M2S, DEC, ARB,
+  S2M, Fig. 6);
+* **per instruction** — the behavioural decomposition (Table 1);
+* **total** — the sum, with the invariant that all three agree (the
+  test suite checks conservation with hypothesis).
+"""
+
+from __future__ import annotations
+
+
+#: Canonical sub-block keys, in the paper's Fig. 6 order.
+BLOCK_M2S = "M2S"
+BLOCK_DEC = "DEC"
+BLOCK_ARB = "ARB"
+BLOCK_S2M = "S2M"
+PAPER_BLOCKS = (BLOCK_M2S, BLOCK_DEC, BLOCK_ARB, BLOCK_S2M)
+
+
+class InstructionStats:
+    """Count and energy accumulated for one instruction."""
+
+    __slots__ = ("count", "energy")
+
+    def __init__(self):
+        self.count = 0
+        self.energy = 0.0
+
+    @property
+    def average_energy(self):
+        """Mean energy per execution (joules); 0 when never executed."""
+        if not self.count:
+            return 0.0
+        return self.energy / self.count
+
+    def __repr__(self):
+        return "InstructionStats(count=%d, energy=%.3e J)" % (
+            self.count, self.energy,
+        )
+
+
+class EnergyLedger:
+    """Per-block and per-instruction energy bookkeeping."""
+
+    def __init__(self, blocks=PAPER_BLOCKS):
+        self.block_energy = {block: 0.0 for block in blocks}
+        self.instructions = {}
+        self.total_energy = 0.0
+        self.cycles = 0
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_cycle(self, instruction, block_energies):
+        """Account one cycle: *block_energies* maps block → joules.
+
+        The cycle's total is attributed to *instruction* (a string such
+        as ``"WRITE_READ"``); unknown blocks are added on the fly so
+        extended decompositions (e.g. an APB bridge block) just work.
+        """
+        cycle_total = 0.0
+        for block, energy in block_energies.items():
+            if energy < 0:
+                raise ValueError(
+                    "negative energy %r for block %r" % (energy, block)
+                )
+            self.block_energy[block] = (
+                self.block_energy.get(block, 0.0) + energy
+            )
+            cycle_total += energy
+        stats = self.instructions.get(instruction)
+        if stats is None:
+            stats = self.instructions[instruction] = InstructionStats()
+        stats.count += 1
+        stats.energy += cycle_total
+        self.total_energy += cycle_total
+        self.cycles += 1
+        return cycle_total
+
+    # -- queries --------------------------------------------------------------
+
+    def instruction_stats(self, instruction):
+        """Stats for *instruction* (zeros when never executed)."""
+        return self.instructions.get(instruction, InstructionStats())
+
+    def block_share(self, block):
+        """Fraction of total energy attributed to *block*."""
+        if self.total_energy == 0:
+            return 0.0
+        return self.block_energy.get(block, 0.0) / self.total_energy
+
+    def instruction_share(self, instruction):
+        """Fraction of total energy attributed to *instruction*."""
+        if self.total_energy == 0:
+            return 0.0
+        return self.instruction_stats(instruction).energy / self.total_energy
+
+    def class_share(self, predicate):
+        """Energy fraction of instructions satisfying *predicate(name)*."""
+        if self.total_energy == 0:
+            return 0.0
+        energy = sum(stats.energy
+                     for name, stats in self.instructions.items()
+                     if predicate(name))
+        return energy / self.total_energy
+
+    def block_breakdown(self):
+        """Dict block → (energy, share), sorted by descending energy."""
+        items = sorted(self.block_energy.items(),
+                       key=lambda item: item[1], reverse=True)
+        return {block: (energy, self.block_share(block))
+                for block, energy in items}
+
+    def average_power(self, elapsed_seconds):
+        """Mean power over *elapsed_seconds* (watts)."""
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.total_energy / elapsed_seconds
+
+    def check_conservation(self, tolerance=1e-9):
+        """Verify Σblocks == Σinstructions == total (relative tolerance).
+
+        Returns True; raises ``AssertionError`` with details otherwise.
+        """
+        block_sum = sum(self.block_energy.values())
+        instr_sum = sum(stats.energy
+                        for stats in self.instructions.values())
+        scale = max(abs(self.total_energy), 1e-30)
+        if abs(block_sum - self.total_energy) > tolerance * scale:
+            raise AssertionError(
+                "block sum %.6e != total %.6e"
+                % (block_sum, self.total_energy)
+            )
+        if abs(instr_sum - self.total_energy) > tolerance * scale:
+            raise AssertionError(
+                "instruction sum %.6e != total %.6e"
+                % (instr_sum, self.total_energy)
+            )
+        return True
+
+    def __repr__(self):
+        return "EnergyLedger(cycles=%d, total=%.3e J)" % (
+            self.cycles, self.total_energy,
+        )

@@ -1,0 +1,421 @@
+"""The three power-model styles of the paper's Fig. 1.
+
+* :class:`GlobalPowerMonitor` — "a further specific module:
+  communicating properly with the other modules it can characterize the
+  energetic behavior of the entire system".  A separate kernel module,
+  sensitive to the bus clock, that observes the shared bus signals,
+  evaluates the sub-block macromodels every cycle and drives the
+  power FSM.  This is the reference model used for all paper
+  experiments.
+
+* :class:`LocalPowerMonitor` — "a particular process added to those
+  already present in the module ... a system activity monitor".  It
+  watches only the activity *mode* and charges a pre-characterised
+  average energy per instruction: cheaper, coarser.
+
+* :class:`PrivatePowerMonitor` — "characterize each process in terms
+  of energy so that a process is considered as a single, atomic
+  instruction ... very accurate ... highly intrusive and with a deep
+  impact on simulation speed".  It hooks every sub-block I/O signal
+  commit (event granularity, not cycle granularity) and charges
+  switched capacitance per individual transition.
+
+Omitting a monitor reproduces the paper's ``POWERTEST`` compile switch:
+no instrumentation code runs at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..amba.types import HTRANS
+from ..kernel import Module
+from .activity import Activity
+from .hamming import hamming
+from .instructions import classify_mode, instruction_name
+from .ledger import (
+    BLOCK_ARB,
+    BLOCK_DEC,
+    BLOCK_M2S,
+    BLOCK_S2M,
+    EnergyLedger,
+    PAPER_BLOCKS,
+)
+from .macromodels import (
+    ArbiterEnergyModel,
+    DecoderEnergyModel,
+    MuxEnergyModel,
+)
+from .parameters import PAPER_TECHNOLOGY
+from .power_fsm import PowerFsm
+from .power_trace import TraceSet
+
+
+def _decoder_shift(address_map):
+    """Bit position where slave regions start to differ.
+
+    The physical decoder only looks at address bits above the region
+    granularity; Hamming activity below that bit is data-path, not
+    decode, activity.
+    """
+    sizes = [region.size for region in address_map]
+    if not sizes:
+        return 0
+    return int(math.floor(math.log2(min(sizes))))
+
+
+class GlobalPowerMonitor(Module):
+    """Cycle-accurate, macromodel-driven power analysis (global style).
+
+    Parameters
+    ----------
+    bus:
+        The :class:`~repro.amba.bus.AhbBus` under analysis.
+    params:
+        Technology constants for the macromodels.
+    with_traces:
+        Record per-block :class:`PowerTrace` data (needed for the
+        Fig. 3–5 experiments; costs memory on long runs).
+    datafile:
+        Optional open file for the per-cycle energy log.
+    """
+
+    def __init__(self, sim, name, bus, params=PAPER_TECHNOLOGY,
+                 with_traces=False, datafile=None, parent=None,
+                 with_clock_tree=False, clock_tree_flops=None,
+                 clock_gate=None, wake_penalty_factor=2.0):
+        super().__init__(sim, name, parent=parent)
+        self.bus = bus
+        self.params = params
+        cfg = bus.config
+
+        # Optional bus-wide clock-tree block ("CLK"): the pipeline
+        # registers of masters, slaves and fabric, charged every
+        # ungated cycle.  Off by default so the paper's four-block
+        # Fig. 6 decomposition is reproduced unchanged; the DPM
+        # extension (repro.power.dpm) turns it on together with a
+        # ClockGateController.
+        if clock_gate is not None and not with_clock_tree:
+            raise ValueError(
+                "clock gating needs with_clock_tree=True (gating only "
+                "affects the clock-tree block)")
+        self.clock_gate = clock_gate
+        self.wake_penalty_factor = wake_penalty_factor
+        if with_clock_tree:
+            if clock_tree_flops is None:
+                clock_tree_flops = cfg.n_masters * 80 + cfg.n_slaves * 40
+            self._clock_tree_energy = (
+                params.half_cv2 * params.c_clk * clock_tree_flops)
+            self.clock_tree_flops = clock_tree_flops
+        else:
+            self._clock_tree_energy = None
+            self.clock_tree_flops = 0
+        self._was_gated = False
+
+        n_masters = cfg.n_masters
+        n_slaves_total = cfg.n_slaves + 1  # incl. default slave
+        m2s_width = (cfg.addr_width + cfg.data_width + 13)
+        s2m_width = cfg.data_width + 3
+
+        self.m2s_model = MuxEnergyModel(n_masters, m2s_width, params)
+        self.s2m_model = MuxEnergyModel(n_slaves_total, s2m_width, params)
+        self.decoder_model = DecoderEnergyModel(n_slaves_total, params)
+        self.arbiter_model = ArbiterEnergyModel(n_masters, params)
+
+        self._m2s_out = Activity(
+            "m2s_out",
+            (bus.htrans, bus.haddr, bus.hwrite, bus.hsize, bus.hburst,
+             bus.hprot, bus.hwdata),
+        )
+        self._s2m_out = Activity(
+            "s2m_out", (bus.hrdata, bus.hresp, bus.hready),
+        )
+        request_signals = []
+        for port in bus.master_ports:
+            request_signals.append(port.hbusreq)
+            request_signals.append(port.hlock)
+        self._arb_in = Activity("arb_in", request_signals)
+
+        self._decoder_shift = _decoder_shift(cfg.address_map)
+        self._prev_haddr = bus.haddr.value
+        self._prev_owner = bus.hmaster.value
+        self._prev_dsel = bus.s2m_mux.dsel.value
+
+        traces = TraceSet(PAPER_BLOCKS + ("TOTAL",)) if with_traces else None
+        self.ledger = EnergyLedger()
+        self.fsm = PowerFsm(self.ledger, traces=traces, datafile=datafile)
+        self.traces = traces
+
+        # Aggregate activity counters consumed by
+        # repro.power.statistical.WorkloadStatistics.from_monitor.
+        self.decode_hd_total = 0
+        self.decode_change_count = 0
+        self.dsel_hd_total = 0
+        self.handover_total = 0
+        self.transfer_cycles = 0
+        self.write_cycles = 0
+
+        #: Energy chargeback: joules attributed to each master index
+        #: (the cycle's address-phase owner pays for the cycle).
+        self.master_energy = [0.0] * cfg.n_masters
+
+        self.method(self._on_clk, [bus.clk.posedge], name="monitor",
+                    initialize=False)
+
+    # -- per-cycle analysis ----------------------------------------------
+
+    def _on_clk(self):
+        bus = self.bus
+
+        m2s_sample = self._m2s_out.sample()
+        s2m_sample = self._s2m_out.sample()
+        arb_sample = self._arb_in.sample()
+
+        owner = bus.hmaster.value
+        handover_done = owner != self._prev_owner
+        grant_pending = bus.arbiter._grant_idx.value != owner
+        # Cycles parked on the default master are handover territory:
+        # the default master never transfers, so the next real transfer
+        # necessarily involves a grant change (the paper's IDLE_HO
+        # periods span whole idle windows, see DESIGN.md).
+        parked = owner == bus.config.default_master
+        self._prev_owner = owner
+
+        haddr = bus.haddr.value
+        hd_decode = hamming(
+            self._prev_haddr >> self._decoder_shift,
+            haddr >> self._decoder_shift,
+            width=self.decoder_model.n_inputs,
+        )
+        self._prev_haddr = haddr
+
+        dsel = bus.s2m_mux.dsel.value
+        hd_dsel = hamming(self._prev_dsel, dsel, width=8)
+        self._prev_dsel = dsel
+
+        hd_owner_code = 1 if handover_done else 0
+
+        self.decode_hd_total += hd_decode
+        if hd_decode:
+            self.decode_change_count += 1
+        self.dsel_hd_total += hd_dsel
+        if handover_done:
+            self.handover_total += 1
+        if bus.htrans.value in (int(HTRANS.NONSEQ), int(HTRANS.SEQ)):
+            self.transfer_cycles += 1
+            if bus.hwrite.value:
+                self.write_cycles += 1
+
+        energies = {
+            BLOCK_M2S: self.m2s_model.energy(
+                hd_in=m2s_sample.total,
+                hd_sel=hd_owner_code,
+                hd_out=m2s_sample.total,
+            ),
+            BLOCK_S2M: self.s2m_model.energy(
+                hd_in=s2m_sample.total,
+                hd_sel=hd_dsel,
+                hd_out=s2m_sample.total,
+            ),
+            BLOCK_DEC: self.decoder_model.energy(hd_decode),
+            BLOCK_ARB: self.arbiter_model.energy(
+                arb_sample.total, handover_done,
+            ),
+        }
+        if self._clock_tree_energy is not None:
+            energies["CLK"] = self._clock_tree_cycle_energy()
+
+        mode = classify_mode(
+            bus.htrans.value, bus.hwrite.value,
+            handover=handover_done or grant_pending or parked,
+        )
+        self.fsm.step(self.sim.now, mode, energies)
+        self.master_energy[owner] += sum(energies.values())
+
+    def master_energy_shares(self):
+        """Fraction of total energy attributed to each master index."""
+        total = sum(self.master_energy)
+        if total == 0:
+            return [0.0] * len(self.master_energy)
+        return [energy / total for energy in self.master_energy]
+
+    def _clock_tree_cycle_energy(self):
+        """Clock-tree charge for this cycle, honouring clock gating."""
+        gated_now = (self.clock_gate is not None
+                     and bool(self.clock_gate.gated.value))
+        if gated_now:
+            energy = 0.0
+        else:
+            energy = self._clock_tree_energy
+            if self._was_gated:
+                # wake-up: the gated tree recharges and the enable
+                # latches toggle across the whole distribution
+                energy += (self.wake_penalty_factor
+                           * self._clock_tree_energy)
+        self._was_gated = gated_now
+        return energy
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def total_energy(self):
+        """Total accounted energy so far (joules)."""
+        return self.ledger.total_energy
+
+    def activity_summary(self):
+        """Switching statistics of all monitored signal groups."""
+        return {
+            "m2s_out": self._m2s_out.summary(),
+            "s2m_out": self._s2m_out.summary(),
+            "arb_in": self._arb_in.summary(),
+        }
+
+
+class LocalPowerMonitor(Module):
+    """Instruction-table power analysis (local style).
+
+    Only the activity mode is observed; each executed instruction is
+    charged a fixed average energy from *instruction_energies* (a dict
+    ``name -> joules``, typically produced by a characterisation run of
+    the global monitor via
+    :meth:`GlobalPowerMonitor.ledger.instructions`).  Unknown
+    instructions fall back to *default_energy*.
+    """
+
+    def __init__(self, sim, name, bus, instruction_energies,
+                 default_energy=0.0, with_traces=False, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.bus = bus
+        self.instruction_energies = dict(instruction_energies)
+        self.default_energy = default_energy
+        self.ledger = EnergyLedger(blocks=("BUS",))
+        traces = TraceSet(("BUS", "TOTAL")) if with_traces else None
+        self.traces = traces
+        self.fsm = PowerFsm(self.ledger, traces=traces)
+        self._prev_owner = bus.hmaster.value
+        self.method(self._on_clk, [bus.clk.posedge], name="monitor",
+                    initialize=False)
+
+    def _on_clk(self):
+        bus = self.bus
+        owner = bus.hmaster.value
+        handover_done = owner != self._prev_owner
+        grant_pending = bus.arbiter._grant_idx.value != owner
+        parked = owner == bus.config.default_master
+        self._prev_owner = owner
+        mode = classify_mode(
+            bus.htrans.value, bus.hwrite.value,
+            handover=handover_done or grant_pending or parked,
+        )
+        # Peek the instruction the FSM will classify so its table
+        # energy can be charged in the same step.
+        name = instruction_name(self.fsm.state, mode)
+        energy = self.instruction_energies.get(name, self.default_energy)
+        self.fsm.step(self.sim.now, mode, {"BUS": energy})
+
+    @property
+    def total_energy(self):
+        """Total accounted energy so far (joules)."""
+        return self.ledger.total_energy
+
+
+class PrivatePowerMonitor(Module):
+    """Event-granularity power analysis (private style).
+
+    Watches every individual signal commit on the sub-block interfaces
+    and charges switched capacitance per transition: internal-node
+    capacitance scaled by a per-block path depth, plus output load on
+    the block output nets.  The most accurate and the slowest style —
+    each signal change costs a Python callback inside the kernel's
+    update phase.
+    """
+
+    def __init__(self, sim, name, bus, params=PAPER_TECHNOLOGY,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.bus = bus
+        self.params = params
+        cfg = bus.config
+        self.ledger = EnergyLedger()
+        self.fsm = PowerFsm(self.ledger)
+        self._pending = {block: 0.0 for block in PAPER_BLOCKS}
+        self._prev_owner = bus.hmaster.value
+
+        n_slaves_total = cfg.n_slaves + 1
+        m2s_depth = 1 + math.ceil(math.log2(cfg.n_masters))
+        s2m_depth = 1 + math.ceil(math.log2(n_slaves_total))
+        dec_cost = (self.params.c_pd
+                    * math.ceil(math.log2(n_slaves_total)))
+
+        watch_plan = [
+            (BLOCK_M2S, bus.htrans, m2s_depth),
+            (BLOCK_M2S, bus.haddr, m2s_depth),
+            (BLOCK_M2S, bus.hwrite, m2s_depth),
+            (BLOCK_M2S, bus.hsize, m2s_depth),
+            (BLOCK_M2S, bus.hburst, m2s_depth),
+            (BLOCK_M2S, bus.hprot, m2s_depth),
+            (BLOCK_M2S, bus.hwdata, m2s_depth),
+            (BLOCK_S2M, bus.hrdata, s2m_depth),
+            (BLOCK_S2M, bus.hresp, s2m_depth),
+            (BLOCK_S2M, bus.hready, s2m_depth),
+        ]
+        half_cv2 = params.half_cv2
+        for block, signal, depth in watch_plan:
+            per_bit = half_cv2 * (params.c_pd * depth + params.c_o)
+            signal.add_watcher(self._make_watcher(block, per_bit))
+
+        for port in bus.slave_ports:
+            port.hsel.add_watcher(
+                self._make_watcher(BLOCK_DEC, half_cv2 * (dec_cost
+                                                          + params.c_o))
+            )
+        bus.default_slave_port.hsel.add_watcher(
+            self._make_watcher(BLOCK_DEC, half_cv2 * (dec_cost
+                                                      + params.c_o))
+        )
+        for port in bus.master_ports:
+            port.hgrant.add_watcher(
+                self._make_watcher(BLOCK_ARB,
+                                   half_cv2 * (params.c_pd + params.c_o))
+            )
+            port.hbusreq.add_watcher(
+                self._make_watcher(BLOCK_ARB, half_cv2 * params.c_pd * 2)
+            )
+
+        self.method(self._on_clk, [bus.clk.posedge], name="monitor",
+                    initialize=False)
+
+    def _make_watcher(self, block, per_bit_energy):
+        pending = self._pending
+
+        def watcher(signal, old, new):
+            pending[block] += per_bit_energy * hamming(
+                old, new, width=signal.width,
+            )
+        return watcher
+
+    def _on_clk(self):
+        bus = self.bus
+        owner = bus.hmaster.value
+        handover_done = owner != self._prev_owner
+        grant_pending = bus.arbiter._grant_idx.value != owner
+        parked = owner == bus.config.default_master
+        self._prev_owner = owner
+        mode = classify_mode(
+            bus.htrans.value, bus.hwrite.value,
+            handover=handover_done or grant_pending or parked,
+        )
+        energies = dict(self._pending)
+        # Arbiter clock tree burns every cycle.
+        energies[BLOCK_ARB] += (
+            self.params.half_cv2 * self.params.c_clk
+            * (bus.config.n_masters + 8)
+        )
+        for block in self._pending:
+            self._pending[block] = 0.0
+        self.fsm.step(self.sim.now, mode, energies)
+
+    @property
+    def total_energy(self):
+        """Total accounted energy so far (joules)."""
+        return self.ledger.total_energy

@@ -1,0 +1,79 @@
+"""The paper's ``power_fsm`` (§5.4).
+
+A finite-state machine over the four bus activity modes whose
+transitions are the instruction set.  Every cycle it receives the
+observed mode plus the per-block energies computed by the macromodels,
+classifies the executed instruction, and dispatches the energy to the
+ledger, the power traces and (optionally) a data file — "the energy
+value output in a data file" of the paper's listing.
+"""
+
+from __future__ import annotations
+
+from ..kernel.time import to_seconds
+from .instructions import BusMode, instruction_name
+from .ledger import EnergyLedger
+from .power_trace import TraceSet
+
+
+class PowerFsm:
+    """Instruction classifier and energy dispatcher.
+
+    Parameters
+    ----------
+    ledger:
+        The :class:`~repro.power.ledger.EnergyLedger` to charge.
+    traces:
+        Optional :class:`~repro.power.power_trace.TraceSet`; per-block
+        traces plus a ``TOTAL`` trace are recorded when present.
+    datafile:
+        Optional open file object; one ``time_s instruction energy_j``
+        line is written per cycle, like the paper's output file.
+    """
+
+    def __init__(self, ledger=None, traces=None, datafile=None):
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.traces = traces
+        self.datafile = datafile
+        self.state = BusMode.IDLE
+        self.instruction_log = None
+        self.cycles = 0
+
+    def enable_logging(self):
+        """Keep an in-memory list of (time_ps, instruction, energy)."""
+        if self.instruction_log is None:
+            self.instruction_log = []
+
+    def step(self, time_ps, mode, block_energies):
+        """Advance one cycle.
+
+        Parameters
+        ----------
+        time_ps:
+            Kernel time of the cycle boundary.
+        mode:
+            The observed :class:`~repro.power.instructions.BusMode`.
+        block_energies:
+            Mapping block key → joules for this cycle.
+
+        Returns the executed instruction name.
+        """
+        instruction = instruction_name(self.state, mode)
+        self.state = mode
+        total = self.ledger.charge_cycle(instruction, block_energies)
+        if self.traces is not None:
+            self.traces.record(time_ps, block_energies)
+            self.traces.record(time_ps, {"TOTAL": total})
+        if self.datafile is not None:
+            self.datafile.write(
+                "%.9e %s %.6e\n"
+                % (to_seconds(time_ps), instruction, total)
+            )
+        if self.instruction_log is not None:
+            self.instruction_log.append((time_ps, instruction, total))
+        self.cycles += 1
+        return instruction
+
+    def reset(self, mode=BusMode.IDLE):
+        """Reset the FSM state (ledger contents are preserved)."""
+        self.state = mode

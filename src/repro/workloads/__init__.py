@@ -1,0 +1,41 @@
+"""Traffic generation and assembled testbenches."""
+
+from .patterns import (
+    BoundedSource,
+    CpuLikeSource,
+    DmaBurstSource,
+    PaperWriteReadSource,
+    RandomSource,
+    ReplaySource,
+)
+from .scenarios import (
+    SCENARIOS,
+    build_scenario,
+    portable_audio_player,
+    portable_videogame,
+    wireless_modem,
+)
+from .testbench import (
+    MONITOR_STYLES,
+    AhbSystem,
+    build_paper_testbench,
+    slave_regions,
+)
+
+__all__ = [
+    "AhbSystem",
+    "BoundedSource",
+    "CpuLikeSource",
+    "DmaBurstSource",
+    "MONITOR_STYLES",
+    "PaperWriteReadSource",
+    "RandomSource",
+    "ReplaySource",
+    "SCENARIOS",
+    "build_paper_testbench",
+    "build_scenario",
+    "portable_audio_player",
+    "portable_videogame",
+    "slave_regions",
+    "wireless_modem",
+]

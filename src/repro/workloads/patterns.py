@@ -1,0 +1,232 @@
+"""Traffic sources.
+
+Each source implements :class:`~repro.amba.master.TrafficSource` and is
+pulled by a master BFM whenever it runs out of work.  All randomness is
+seeded explicitly, so every workload is reproducible.
+
+* :class:`PaperWriteReadSource` — the paper's testbench policy: masters
+  "execute WRITE-READ noninterruptible sequences and IDLE commands, for
+  a random number of times; only in this period a bus handover can
+  occur".
+* :class:`RandomSource` — uniform random single transfers.
+* :class:`DmaBurstSource` — fixed-length burst traffic (a DMA engine).
+* :class:`CpuLikeSource` — read-dominated traffic with spatial
+  locality, modelling an instruction/data fetch mix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..amba.master import TrafficSource
+from ..amba.transactions import AhbTransaction
+from ..amba.types import HBURST, HSIZE, size_bytes
+
+
+class BoundedSource(TrafficSource):
+    """Common bookkeeping: issue budget and generated-transaction log."""
+
+    def __init__(self, seed=0, max_transactions=None):
+        self.rng = random.Random(seed)
+        self.max_transactions = max_transactions
+        self.issued = 0
+
+    def exhausted(self):
+        """True once the issue budget is spent."""
+        return (self.max_transactions is not None
+                and self.issued >= self.max_transactions)
+
+    def next_transaction(self, now):
+        if self.exhausted():
+            return None
+        txn = self._generate(now)
+        if txn is not None:
+            self.issued += 1
+        return txn
+
+    def _generate(self, now):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PaperWriteReadSource(BoundedSource):
+    """WRITE–READ atomic pairs separated by random IDLE gaps.
+
+    A *sequence* is 1..``max_pairs`` back-to-back WRITE–READ pairs to
+    random addresses of the configured regions (back-to-back transfers
+    keep ``HTRANS`` active, so the arbiter cannot hand the bus over
+    mid-sequence — the paper's "non-interruptible" property).  Between
+    sequences the master idles for a random number of cycles, releasing
+    the bus; handovers happen only there.
+
+    Parameters
+    ----------
+    regions:
+        List of ``(base, size)`` address windows to target.
+    max_pairs:
+        Upper bound of the per-sequence pair count (uniform 1..N).
+    idle_range:
+        ``(lo, hi)`` bounds of the inter-sequence idle gap in cycles.
+    locality:
+        Probability that consecutive pairs target the same slave
+        region — masters in a SoC have slave affinity (a CPU hits its
+        RAM, a DMA engine its peripheral), which keeps decoder and
+        read-mux thrash realistic.
+    """
+
+    def __init__(self, regions, seed=0, max_transactions=None,
+                 max_pairs=4, idle_range=(1, 6), hsize=HSIZE.WORD,
+                 locality=0.8):
+        super().__init__(seed=seed, max_transactions=max_transactions)
+        if not regions:
+            raise ValueError("need at least one address region")
+        self.regions = list(regions)
+        self.max_pairs = max_pairs
+        self.idle_range = idle_range
+        self.hsize = HSIZE(hsize)
+        self.locality = locality
+        self._region = self.regions[0]
+        self._pending = []
+        self.pairs_generated = 0
+
+    def _random_address(self):
+        if self.rng.random() >= self.locality:
+            self._region = self.rng.choice(self.regions)
+        base, size = self._region
+        step = size_bytes(self.hsize)
+        offset = self.rng.randrange(0, size // step) * step
+        return base + offset
+
+    def _new_sequence(self):
+        pairs = self.rng.randint(1, self.max_pairs)
+        idle_gap = self.rng.randint(*self.idle_range)
+        for pair_index in range(pairs):
+            address = self._random_address()
+            data = self.rng.getrandbits(8 * size_bytes(self.hsize))
+            write = AhbTransaction(
+                True, address, data=[data], hsize=self.hsize,
+                idle_cycles_before=idle_gap if pair_index == 0 else 0,
+            )
+            read = AhbTransaction(False, address, hsize=self.hsize)
+            self._pending.append(write)
+            self._pending.append(read)
+            self.pairs_generated += 1
+
+    def _generate(self, now):
+        if not self._pending:
+            self._new_sequence()
+        return self._pending.pop(0)
+
+
+class RandomSource(BoundedSource):
+    """Independent uniform random single transfers (50 % writes)."""
+
+    def __init__(self, regions, seed=0, max_transactions=None,
+                 write_fraction=0.5, idle_range=(0, 3),
+                 hsize=HSIZE.WORD):
+        super().__init__(seed=seed, max_transactions=max_transactions)
+        self.regions = list(regions)
+        self.write_fraction = write_fraction
+        self.idle_range = idle_range
+        self.hsize = HSIZE(hsize)
+
+    def _generate(self, now):
+        base, size = self.rng.choice(self.regions)
+        step = size_bytes(self.hsize)
+        address = base + self.rng.randrange(0, size // step) * step
+        idle = self.rng.randint(*self.idle_range)
+        if self.rng.random() < self.write_fraction:
+            data = self.rng.getrandbits(8 * step)
+            return AhbTransaction(True, address, data=[data],
+                                  hsize=self.hsize,
+                                  idle_cycles_before=idle)
+        return AhbTransaction(False, address, hsize=self.hsize,
+                              idle_cycles_before=idle)
+
+
+class DmaBurstSource(BoundedSource):
+    """Fixed-length burst traffic: alternating write and read bursts."""
+
+    def __init__(self, regions, seed=0, max_transactions=None,
+                 burst=HBURST.INCR8, idle_range=(2, 10),
+                 hsize=HSIZE.WORD):
+        super().__init__(seed=seed, max_transactions=max_transactions)
+        self.regions = list(regions)
+        self.burst = HBURST(burst)
+        self.idle_range = idle_range
+        self.hsize = HSIZE(hsize)
+        self._write_next = True
+
+    def _generate(self, now):
+        from ..amba.types import burst_beats
+        beats = burst_beats(self.burst) or 8
+        step = size_bytes(self.hsize)
+        span = beats * step
+        base, size = self.rng.choice(self.regions)
+        if size < span:
+            raise ValueError("region smaller than one burst")
+        address = base + self.rng.randrange(0, size // span) * span
+        idle = self.rng.randint(*self.idle_range)
+        write = self._write_next
+        self._write_next = not self._write_next
+        if write:
+            data = [self.rng.getrandbits(8 * step) for _ in range(beats)]
+            return AhbTransaction(True, address, data=data,
+                                  hburst=self.burst, hsize=self.hsize,
+                                  idle_cycles_before=idle)
+        return AhbTransaction(False, address, hburst=self.burst,
+                              hsize=self.hsize, idle_cycles_before=idle)
+
+
+class CpuLikeSource(BoundedSource):
+    """Read-dominated traffic with spatial locality.
+
+    80 % reads; addresses random-walk within a region with occasional
+    jumps, approximating instruction fetch plus stack/data traffic.
+    """
+
+    def __init__(self, regions, seed=0, max_transactions=None,
+                 read_fraction=0.8, jump_probability=0.1,
+                 idle_range=(0, 2), hsize=HSIZE.WORD):
+        super().__init__(seed=seed, max_transactions=max_transactions)
+        self.regions = list(regions)
+        self.read_fraction = read_fraction
+        self.jump_probability = jump_probability
+        self.idle_range = idle_range
+        self.hsize = HSIZE(hsize)
+        base, size = self.regions[0]
+        self._cursor = base
+        self._region = (base, size)
+
+    def _generate(self, now):
+        step = size_bytes(self.hsize)
+        base, size = self._region
+        if self.rng.random() < self.jump_probability:
+            self._region = self.rng.choice(self.regions)
+            base, size = self._region
+            self._cursor = base + \
+                self.rng.randrange(0, size // step) * step
+        address = self._cursor
+        self._cursor += step
+        if self._cursor >= base + size:
+            self._cursor = base
+        idle = self.rng.randint(*self.idle_range)
+        if self.rng.random() < self.read_fraction:
+            return AhbTransaction(False, address, hsize=self.hsize,
+                                  idle_cycles_before=idle)
+        data = self.rng.getrandbits(8 * step)
+        return AhbTransaction(True, address, data=[data],
+                              hsize=self.hsize,
+                              idle_cycles_before=idle)
+
+
+class ReplaySource(BoundedSource):
+    """Replays an explicit list of transactions (trace replay)."""
+
+    def __init__(self, transactions):
+        super().__init__(seed=0, max_transactions=len(transactions))
+        self._transactions = list(transactions)
+
+    def _generate(self, now):
+        if not self._transactions:
+            return None
+        return self._transactions.pop(0)

@@ -1,0 +1,98 @@
+"""Named SoC scenarios.
+
+The paper's introduction motivates the methodology with "laptop and
+palmtop computers, cellular telephones, wireless modems and portable
+videogames".  These builders assemble representative multi-master
+systems for those device classes so examples and benchmarks can speak
+about realistic platforms instead of abstract traffic knobs.
+
+Every scenario returns an :class:`~repro.workloads.testbench.AhbSystem`
+with the global power monitor attached.
+"""
+
+from __future__ import annotations
+
+from ..amba import Arbitration
+from ..amba.types import HBURST
+from ..kernel import MHz
+from .patterns import CpuLikeSource, DmaBurstSource, RandomSource
+from .testbench import AhbSystem
+
+
+def _regions(n_slaves, region_size=0x1000):
+    return [(index * region_size, region_size)
+            for index in range(n_slaves)]
+
+
+def portable_audio_player(seed=0, frequency_hz=MHz(100), **system_kwargs):
+    """A palmtop audio player.
+
+    * CPU master: read-dominated, high-locality control code;
+    * audio DMA master: steady 8-beat bursts shuttling PCM buffers.
+
+    Three slaves: code ROM / work RAM / audio buffer RAM.
+    """
+    regions = _regions(3)
+    cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
+                        read_fraction=0.85, idle_range=(0, 4))
+    dma = DmaBurstSource([regions[2]], seed=seed + 1,
+                         burst=HBURST.INCR8, idle_range=(6, 20))
+    return AhbSystem([cpu, dma], n_slaves=3,
+                     frequency_hz=frequency_hz, **system_kwargs)
+
+
+def wireless_modem(seed=0, frequency_hz=MHz(100), **system_kwargs):
+    """A cellular/wireless baseband.
+
+    * protocol CPU with moderate locality;
+    * RX DMA: bursty WRAP4 frames into the packet RAM;
+    * slow shared RAM (1 wait state) modelling an embedded macro.
+    """
+    regions = _regions(3)
+    cpu = CpuLikeSource([regions[0]], seed=seed, read_fraction=0.7,
+                        jump_probability=0.2, idle_range=(0, 6))
+    rx_dma = DmaBurstSource([regions[1], regions[2]], seed=seed + 1,
+                            burst=HBURST.WRAP4, idle_range=(2, 30))
+    return AhbSystem([cpu, rx_dma], n_slaves=3,
+                     wait_states=[0, 1, 1],
+                     frequency_hz=frequency_hz,
+                     arbitration=Arbitration.ROUND_ROBIN,
+                     **system_kwargs)
+
+
+def portable_videogame(seed=0, frequency_hz=MHz(100), **system_kwargs):
+    """A handheld videogame.
+
+    * game-logic CPU;
+    * sprite/frame DMA with long INCR16 bursts;
+    * input/misc master with sparse random accesses.
+    """
+    regions = _regions(3)
+    cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
+                        read_fraction=0.75, idle_range=(0, 3))
+    gfx_dma = DmaBurstSource([regions[2]], seed=seed + 1,
+                             burst=HBURST.INCR16, idle_range=(1, 10))
+    io_master = RandomSource([regions[1]], seed=seed + 2,
+                             write_fraction=0.3, idle_range=(10, 50))
+    return AhbSystem([cpu, gfx_dma, io_master], n_slaves=3,
+                     frequency_hz=frequency_hz, **system_kwargs)
+
+
+#: Registry used by examples and benchmarks.
+SCENARIOS = {
+    "portable-audio-player": portable_audio_player,
+    "wireless-modem": wireless_modem,
+    "portable-videogame": portable_videogame,
+}
+
+
+def build_scenario(name, seed=0, **kwargs):
+    """Instantiate scenario *name* from :data:`SCENARIOS`."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario %r (available: %s)"
+            % (name, ", ".join(sorted(SCENARIOS)))
+        ) from None
+    return builder(seed=seed, **kwargs)

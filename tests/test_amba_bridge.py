@@ -1,0 +1,167 @@
+"""AHB-to-AHB bridge (hierarchical bus) tests."""
+
+import pytest
+
+from repro.amba import (
+    AhbBus,
+    AhbConfig,
+    AhbMaster,
+    AhbProtocolChecker,
+    AhbTransaction,
+    DefaultMaster,
+    HBURST,
+    MemorySlave,
+)
+from repro.amba.bridge import AhbToAhbBridge
+from repro.kernel import Clock, MHz, Simulator, us
+
+SYS_REGION = 0x10000     # upstream region size
+PERIPH_WINDOW = 0x10000  # upstream window that maps to the sub-bus
+
+
+class TwoSegmentSystem:
+    """CPU on a system bus; RAM local; a subsystem bus behind a bridge."""
+
+    def __init__(self, downstream_mhz=100):
+        self.sim = Simulator()
+        self.sys_clk = Clock.from_frequency(self.sim, "sys_clk",
+                                            MHz(100))
+        self.sub_clk = Clock.from_frequency(self.sim, "sub_clk",
+                                            MHz(downstream_mhz))
+
+        sys_cfg = AhbConfig.with_uniform_map(
+            n_masters=2, n_slaves=2, region_size=SYS_REGION,
+            default_master=1)
+        self.sys_bus = AhbBus(self.sim, "sysbus", self.sys_clk, sys_cfg)
+        self.cpu = AhbMaster(self.sim, "cpu", self.sys_clk,
+                             self.sys_bus.master_ports[0], self.sys_bus)
+        DefaultMaster(self.sim, "sys_dm", self.sys_clk,
+                      self.sys_bus.master_ports[1], self.sys_bus)
+        self.ram = MemorySlave(self.sim, "ram", self.sys_clk,
+                               self.sys_bus.slave_ports[0], self.sys_bus)
+
+        sub_cfg = AhbConfig.with_uniform_map(
+            n_masters=2, n_slaves=2, region_size=0x1000,
+            default_master=1)
+        self.sub_bus = AhbBus(self.sim, "subbus", self.sub_clk, sub_cfg)
+        DefaultMaster(self.sim, "sub_dm", self.sub_clk,
+                      self.sub_bus.master_ports[1], self.sub_bus)
+        self.sub_slaves = [
+            MemorySlave(self.sim, "sub%d" % index, self.sub_clk,
+                        self.sub_bus.slave_ports[index], self.sub_bus,
+                        base=index * 0x1000)
+            for index in range(2)
+        ]
+        self.bridge = AhbToAhbBridge(
+            self.sim, "bridge", self.sys_clk,
+            self.sys_bus.slave_ports[1], self.sys_bus, self.sub_bus,
+            downstream_port_index=0,
+            translate=lambda address: address - SYS_REGION,
+        )
+        self.sys_checker = AhbProtocolChecker(self.sim, "sys_chk",
+                                              self.sys_bus)
+        self.sub_checker = AhbProtocolChecker(self.sim, "sub_chk",
+                                              self.sub_bus)
+
+    def run_us(self, micros):
+        self.sim.run(until=self.sim.now + us(micros))
+        return self
+
+    def assert_clean(self):
+        assert self.sys_checker.ok, self.sys_checker.violations[:3]
+        assert self.sub_checker.ok, self.sub_checker.violations[:3]
+
+
+class TestBridgedTransfers:
+    def test_write_read_roundtrip_through_bridge(self):
+        sys = TwoSegmentSystem()
+        write = sys.cpu.enqueue(
+            AhbTransaction.write_single(SYS_REGION + 0x40, 0xBEEF))
+        read = sys.cpu.enqueue(
+            AhbTransaction.read(SYS_REGION + 0x40))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert write.done and read.done
+        assert read.rdata == [0xBEEF]
+        assert sys.sub_slaves[0].peek(0x40) == 0xBEEF
+        assert sys.bridge.forwarded == 2
+
+    def test_second_downstream_slave_reachable(self):
+        sys = TwoSegmentSystem()
+        sys.cpu.enqueue(
+            AhbTransaction.write_single(SYS_REGION + 0x1008, 7))
+        read = sys.cpu.enqueue(
+            AhbTransaction.read(SYS_REGION + 0x1008))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert read.rdata == [7]
+        assert sys.sub_slaves[1].peek(0x8) == 7
+
+    def test_local_ram_unaffected(self):
+        sys = TwoSegmentSystem()
+        local = sys.cpu.enqueue(AhbTransaction.write_single(0x40, 1))
+        remote = sys.cpu.enqueue(
+            AhbTransaction.write_single(SYS_REGION + 0x40, 2))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert local.done and remote.done
+        assert sys.ram.peek(0x40) == 1
+        assert sys.sub_slaves[0].peek(0x40) == 2
+
+    def test_downstream_error_propagates(self):
+        sys = TwoSegmentSystem()
+        # beyond the sub-bus map -> downstream default slave errors
+        bad = sys.cpu.enqueue(
+            AhbTransaction.read(SYS_REGION + 0x9000))
+        good = sys.cpu.enqueue(AhbTransaction.write_single(0x0, 1))
+        sys.run_us(4)
+        sys.assert_clean()
+        assert bad.error and bad.done
+        assert good.done and not good.error
+
+    def test_bridge_latency_exceeds_local(self):
+        sys = TwoSegmentSystem()
+        local = sys.cpu.enqueue(AhbTransaction.read(0x0))
+        remote = sys.cpu.enqueue(
+            AhbTransaction.read(SYS_REGION + 0x0))
+        sys.run_us(3)
+        assert remote.latency > local.latency
+
+    def test_burst_crosses_bridge_beat_by_beat(self):
+        sys = TwoSegmentSystem()
+        data = [10, 20, 30, 40]
+        write = sys.cpu.enqueue(AhbTransaction(
+            True, SYS_REGION + 0x100, data=data, hburst=HBURST.INCR4))
+        read = sys.cpu.enqueue(AhbTransaction(
+            False, SYS_REGION + 0x100, hburst=HBURST.INCR4))
+        sys.run_us(6)
+        sys.assert_clean()
+        assert write.done and read.done
+        assert read.rdata == data
+        assert sys.bridge.forwarded == 8
+
+
+class TestClockDomains:
+    @pytest.mark.parametrize("downstream_mhz", [50, 100, 200])
+    def test_cross_frequency_bridging(self, downstream_mhz):
+        sys = TwoSegmentSystem(downstream_mhz=downstream_mhz)
+        write = sys.cpu.enqueue(
+            AhbTransaction.write_single(SYS_REGION + 0x20, 0x55))
+        read = sys.cpu.enqueue(
+            AhbTransaction.read(SYS_REGION + 0x20))
+        sys.run_us(5)
+        sys.assert_clean()
+        assert read.rdata == [0x55]
+
+    def test_slower_downstream_means_longer_stall(self):
+        fast = TwoSegmentSystem(downstream_mhz=200)
+        slow = TwoSegmentSystem(downstream_mhz=25)
+
+        def latency(system):
+            txn = system.cpu.enqueue(
+                AhbTransaction.read(SYS_REGION + 0x0))
+            system.run_us(6)
+            assert txn.done
+            return txn.latency
+
+        assert latency(slow) > latency(fast)

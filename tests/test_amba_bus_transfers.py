@@ -1,0 +1,170 @@
+"""Integration tests: transfers through the assembled bus."""
+
+from repro.amba import AhbTransaction, HBURST, HSIZE
+from repro.kernel import us
+
+
+class TestSingleTransfers:
+    def test_write_then_read_roundtrip(self, small_system):
+        sys = small_system
+        write = sys.m0.enqueue(AhbTransaction.write_single(0x40, 0xA5A5))
+        read = sys.m0.enqueue(AhbTransaction.read(0x40))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert write.done and read.done
+        assert read.rdata == [0xA5A5]
+
+    def test_memory_isolated_between_slaves(self, small_system):
+        sys = small_system
+        sys.m0.enqueue(AhbTransaction.write_single(0x000, 1))
+        sys.m0.enqueue(AhbTransaction.write_single(0x1000, 2))
+        r0 = sys.m0.enqueue(AhbTransaction.read(0x000))
+        r1 = sys.m0.enqueue(AhbTransaction.read(0x1000))
+        sys.run_us(2)
+        assert r0.rdata == [1] and r1.rdata == [2]
+        assert sys.slaves[0].peek(0) == 1
+        assert sys.slaves[1].peek(0) == 2
+
+    def test_byte_and_halfword_transfers(self, small_system):
+        sys = small_system
+        sys.m0.enqueue(AhbTransaction(True, 0x11, data=[0xAB],
+                                      hsize=HSIZE.BYTE))
+        sys.m0.enqueue(AhbTransaction(True, 0x12, data=[0xCDEF],
+                                      hsize=HSIZE.HALFWORD))
+        rb = sys.m0.enqueue(AhbTransaction(False, 0x11,
+                                           hsize=HSIZE.BYTE))
+        rh = sys.m0.enqueue(AhbTransaction(False, 0x12,
+                                           hsize=HSIZE.HALFWORD))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert rb.rdata == [0xAB]
+        assert rh.rdata == [0xCDEF]
+
+    def test_transaction_timestamps(self, small_system):
+        sys = small_system
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x0, 5))
+        sys.run_us(1)
+        assert txn.issue_time is not None
+        assert txn.complete_time > txn.issue_time
+
+
+class TestBursts:
+    def test_incr4_write_read(self, small_system):
+        sys = small_system
+        data = [0x10, 0x20, 0x30, 0x40]
+        write = sys.m0.enqueue(AhbTransaction(True, 0x100, data=data,
+                                              hburst=HBURST.INCR4))
+        read = sys.m0.enqueue(AhbTransaction(False, 0x100,
+                                             hburst=HBURST.INCR4))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert write.done and read.done
+        assert read.rdata == data
+
+    def test_wrap8_burst(self, small_system):
+        sys = small_system
+        data = list(range(101, 109))
+        write = sys.m0.enqueue(AhbTransaction(True, 0x30, data=data,
+                                              hburst=HBURST.WRAP8))
+        read = sys.m0.enqueue(AhbTransaction(False, 0x30,
+                                             hburst=HBURST.WRAP8))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert read.rdata == data
+        # wrapped addresses actually landed below the start
+        assert sys.slaves[0].peek(0x20) == data[4]
+
+    def test_incr_undefined_length(self, small_system):
+        sys = small_system
+        data = list(range(1, 12))
+        write = sys.m0.enqueue(AhbTransaction(True, 0x200, data=data,
+                                              hburst=HBURST.INCR))
+        read = sys.m0.enqueue(AhbTransaction(False, 0x200,
+                                             hburst=HBURST.INCR,
+                                             beats=len(data)))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert read.rdata == data
+
+    def test_busy_cycles_in_burst(self, small_system):
+        sys = small_system
+        data = [7, 8, 9, 10]
+        write = sys.m0.enqueue(AhbTransaction(True, 0x80, data=data,
+                                              hburst=HBURST.INCR4,
+                                              busy_between_beats=2))
+        read = sys.m0.enqueue(AhbTransaction(False, 0x80,
+                                             hburst=HBURST.INCR4))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert write.done
+        assert read.rdata == data
+        assert sys.m0.busy_cycles >= 6  # 3 gaps x 2 BUSY cycles
+
+    def test_back_to_back_bursts_pipeline(self, small_system):
+        sys = small_system
+        for index in range(4):
+            sys.m0.enqueue(AhbTransaction(
+                True, 0x400 + 16 * index,
+                data=[index] * 4, hburst=HBURST.INCR4))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert len(sys.m0.completed) == 4
+
+
+class TestWaitStates:
+    def test_wait_states_slow_but_preserve_data(self, small_system_waits):
+        sys = small_system_waits
+        write = sys.m0.enqueue(AhbTransaction.write_single(0x1040, 0x77))
+        read = sys.m0.enqueue(AhbTransaction.read(0x1040))
+        sys.run_us(3)
+        sys.assert_clean()
+        assert read.rdata == [0x77]
+        # slave 1 has 2 wait states: latency > zero-wait minimum
+        assert read.latency is not None
+        assert sys.m0.wait_cycles > 0
+
+    def test_wait_state_burst(self, small_system_waits):
+        sys = small_system_waits
+        data = [5, 6, 7, 8]
+        sys.m0.enqueue(AhbTransaction(True, 0x1000, data=data,
+                                      hburst=HBURST.INCR4))
+        read = sys.m0.enqueue(AhbTransaction(False, 0x1000,
+                                             hburst=HBURST.INCR4))
+        sys.run_us(4)
+        sys.assert_clean()
+        assert read.rdata == data
+
+
+class TestErrorsAndRetries:
+    def test_unmapped_address_errors(self, small_system):
+        sys = small_system
+        bad = sys.m0.enqueue(AhbTransaction.read(0x8000))
+        good = sys.m0.enqueue(AhbTransaction.write_single(0x0, 1))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert bad.error and bad.done
+        assert good.done and not good.error
+
+    def test_error_aborts_remaining_beats(self, small_system):
+        sys = small_system
+        sys.slaves[0].fail_addresses.add(0x104)
+        burst = sys.m0.enqueue(AhbTransaction(
+            True, 0x100, data=[1, 2, 3, 4], hburst=HBURST.INCR4))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x200, 9))
+        sys.run_us(2)
+        sys.assert_clean()
+        assert burst.error and burst.done
+        assert after.done and not after.error
+
+    def test_retry_reissues_and_completes(self):
+        from tests.conftest import SmallSystem
+        sys = SmallSystem(retry_period=4)
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(10)]
+        reads = [sys.m0.enqueue(AhbTransaction.read(4 * i))
+                 for i in range(10)]
+        sys.run_us(5)
+        sys.assert_clean()
+        assert all(t.done and not t.error for t in txns + reads)
+        assert [r.rdata[0] for r in reads] == list(range(10))
+        assert sum(t.retries for t in txns + reads) > 0

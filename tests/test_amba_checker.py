@@ -1,0 +1,131 @@
+"""Protocol checker tests: clean traffic passes, violations are caught."""
+
+from repro.amba import (
+    AhbBus,
+    AhbConfig,
+    AhbProtocolChecker,
+    AhbTransaction,
+    HBURST,
+    HTRANS,
+)
+from repro.kernel import Clock, MHz, Simulator, us
+
+
+class TestCleanTraffic:
+    def test_mixed_traffic_is_clean(self, small_system):
+        sys = small_system
+        sys.m0.enqueue(AhbTransaction.write_single(0x0, 1))
+        sys.m0.enqueue(AhbTransaction(True, 0x100, data=[1, 2, 3, 4],
+                                      hburst=HBURST.INCR4))
+        sys.m1.enqueue(AhbTransaction.read(0x1000))
+        sys.run_us(3)
+        assert sys.checker.ok
+        assert sys.checker.cycles_checked > 0
+
+    def test_wait_states_are_clean(self, small_system_waits):
+        sys = small_system_waits
+        sys.m0.enqueue(AhbTransaction(True, 0x1000, data=[9, 8, 7, 6],
+                                      hburst=HBURST.INCR4))
+        sys.run_us(3)
+        assert sys.checker.ok
+
+    def test_error_response_is_clean(self, small_system):
+        sys = small_system
+        sys.m0.enqueue(AhbTransaction.read(0x9000))
+        sys.run_us(2)
+        assert sys.checker.ok
+
+
+class _RogueMaster:
+    """Drives raw port signals to provoke specific violations."""
+
+    def __init__(self, sim, clk, bus):
+        self.sim = sim
+        self.clk = clk
+        self.bus = bus
+        self.port = bus.master_ports[0]
+        self.cycle = 0
+        self.script = {}
+        sim.add_method(self._drive, [clk.posedge], initialize=False)
+        self.port.hbusreq.force(1)
+
+    def _drive(self):
+        actions = self.script.get(self.cycle, {})
+        for signal_name, value in actions.items():
+            getattr(self.port, signal_name).write(value)
+        self.cycle += 1
+
+
+def rogue_system():
+    sim = Simulator()
+    clk = Clock.from_frequency(sim, "clk", MHz(100))
+    config = AhbConfig.with_uniform_map(n_masters=2, n_slaves=1,
+                                        default_master=1)
+    bus = AhbBus(sim, "ahb", clk, config)
+    from repro.amba import DefaultMaster, MemorySlave
+    DefaultMaster(sim, "dm", clk, bus.master_ports[1], bus)
+    MemorySlave(sim, "s0", clk, bus.slave_ports[0], bus)
+    rogue = _RogueMaster(sim, clk, bus)
+    checker = AhbProtocolChecker(sim, "chk", bus)
+    return sim, rogue, checker
+
+
+class TestViolationDetection:
+    def test_unaligned_address_flagged(self):
+        sim, rogue, checker = rogue_system()
+        rogue.script = {
+            2: {"htrans": int(HTRANS.NONSEQ), "haddr": 0x2,
+                "hsize": 2},  # word transfer at halfword address
+            3: {"htrans": int(HTRANS.IDLE)},
+        }
+        sim.run(until=us(1))
+        assert any(v.rule == "alignment" for v in checker.violations)
+
+    def test_seq_without_nonseq_flagged(self):
+        sim, rogue, checker = rogue_system()
+        rogue.script = {
+            2: {"htrans": int(HTRANS.SEQ), "haddr": 0x4},
+            3: {"htrans": int(HTRANS.IDLE)},
+        }
+        sim.run(until=us(1))
+        assert any(v.rule == "seq-without-nonseq"
+                   for v in checker.violations)
+
+    def test_busy_outside_burst_flagged(self):
+        sim, rogue, checker = rogue_system()
+        rogue.script = {
+            2: {"htrans": int(HTRANS.BUSY)},
+            3: {"htrans": int(HTRANS.IDLE)},
+        }
+        sim.run(until=us(1))
+        assert any(v.rule == "busy-outside-burst"
+                   for v in checker.violations)
+
+    def test_wrong_seq_address_flagged(self):
+        sim, rogue, checker = rogue_system()
+        rogue.script = {
+            2: {"htrans": int(HTRANS.NONSEQ), "haddr": 0x0,
+                "hburst": int(HBURST.INCR4), "hsize": 2},
+            3: {"htrans": int(HTRANS.SEQ), "haddr": 0x40},  # not 0x4
+            4: {"htrans": int(HTRANS.IDLE)},
+        }
+        sim.run(until=us(1))
+        assert any(v.rule == "burst-address" for v in checker.violations)
+
+    def test_strict_mode_raises(self):
+        import pytest
+        sim, rogue, checker = rogue_system()
+        checker.strict = True
+        rogue.script = {
+            2: {"htrans": int(HTRANS.SEQ), "haddr": 0x4},
+        }
+        from repro.kernel import ProcessError
+        with pytest.raises(ProcessError):
+            sim.run(until=us(1))
+
+    def test_violation_repr(self):
+        sim, rogue, checker = rogue_system()
+        rogue.script = {2: {"htrans": int(HTRANS.BUSY)}}
+        sim.run(until=us(1))
+        assert checker.violations
+        assert "busy-outside-burst" in repr(checker.violations[0])

@@ -1,0 +1,104 @@
+"""Unit tests for bus configuration and address maps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.amba import AddressMap, AddressRegion, AhbConfig, Arbitration
+
+
+class TestAddressRegion:
+    def test_contains(self):
+        region = AddressRegion(0x1000, 0x100, 0)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_end(self):
+        assert AddressRegion(0x1000, 0x100, 0).end == 0x1100
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            AddressRegion(0, 0, 0)
+        with pytest.raises(ValueError):
+            AddressRegion(-4, 8, 0)
+
+
+class TestAddressMap:
+    def test_decode(self):
+        amap = AddressMap()
+        amap.add(0x0000, 0x1000, 0, name="rom")
+        amap.add(0x1000, 0x1000, 1, name="ram")
+        assert amap.decode(0x0800) == 0
+        assert amap.decode(0x1800) == 1
+        assert amap.decode(0x2000) is None
+
+    def test_overlap_rejected(self):
+        amap = AddressMap()
+        amap.add(0x0000, 0x1000, 0)
+        with pytest.raises(ValueError):
+            amap.add(0x0800, 0x1000, 1)
+
+    def test_adjacent_regions_allowed(self):
+        amap = AddressMap()
+        amap.add(0x0000, 0x1000, 0)
+        amap.add(0x1000, 0x1000, 1)  # no exception
+        assert len(amap) == 2
+
+    def test_region_of(self):
+        amap = AddressMap()
+        region = amap.add(0x2000, 0x100, 3, name="regs")
+        assert amap.region_of(0x2050) is region
+        assert amap.region_of(0x0) is None
+
+    def test_slave_indices(self):
+        amap = AddressMap()
+        amap.add(0x0000, 0x100, 2)
+        amap.add(0x1000, 0x100, 0)
+        amap.add(0x2000, 0x100, 2)
+        assert amap.slave_indices == (0, 2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=8, unique=True))
+    def test_uniform_map_decodes_every_region(self, indices):
+        n = max(indices) + 1
+        config = AhbConfig.with_uniform_map(n_masters=2, n_slaves=n)
+        for index in range(n):
+            assert config.address_map.decode(index * 0x1000) == index
+            assert config.address_map.decode(
+                index * 0x1000 + 0xFFF) == index
+
+
+class TestAhbConfig:
+    def test_defaults(self):
+        config = AhbConfig()
+        assert config.n_masters == 3
+        assert config.data_width == 32
+        assert config.arbitration == Arbitration.FIXED_PRIORITY
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AhbConfig(n_masters=0)
+        with pytest.raises(ValueError):
+            AhbConfig(n_masters=17)
+        with pytest.raises(ValueError):
+            AhbConfig(n_slaves=0)
+        with pytest.raises(ValueError):
+            AhbConfig(data_width=24)
+        with pytest.raises(ValueError):
+            AhbConfig(default_master=5, n_masters=3)
+        with pytest.raises(ValueError):
+            AhbConfig(arbitration="lottery")
+
+    def test_map_slave_index_out_of_range(self):
+        amap = AddressMap()
+        amap.add(0, 0x100, 7)
+        with pytest.raises(ValueError):
+            AhbConfig(n_slaves=2, address_map=amap)
+
+    def test_slave_base(self):
+        config = AhbConfig.with_uniform_map(n_slaves=3)
+        assert config.slave_base(0) == 0
+        assert config.slave_base(2) == 0x2000
+        with pytest.raises(KeyError):
+            config.slave_base(9)

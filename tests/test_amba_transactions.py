@@ -1,0 +1,106 @@
+"""Unit tests for AHB transactions and beats."""
+
+import pytest
+
+from repro.amba import AhbTransaction, Beat, HBURST, HSIZE
+
+
+class TestConstruction:
+    def test_single_write(self):
+        txn = AhbTransaction.write_single(0x10, 0xDEADBEEF)
+        assert txn.write and txn.beats == 1
+        assert txn.data == [0xDEADBEEF]
+        assert txn.addresses == [0x10]
+
+    def test_single_read(self):
+        txn = AhbTransaction.read(0x20)
+        assert not txn.write
+        assert txn.data is None
+
+    def test_write_data_masked_to_size(self):
+        txn = AhbTransaction(True, 0x0, data=[0x1_FFFF_FFFF])
+        assert txn.data == [0xFFFF_FFFF]
+
+    def test_byte_write_masked(self):
+        txn = AhbTransaction(True, 0x3, data=[0x123], hsize=HSIZE.BYTE)
+        assert txn.data == [0x23]
+
+    def test_incr4_addresses(self):
+        txn = AhbTransaction(False, 0x100, hburst=HBURST.INCR4)
+        assert txn.addresses == [0x100, 0x104, 0x108, 0x10C]
+
+    def test_wrap4_addresses(self):
+        txn = AhbTransaction(False, 0x38, hburst=HBURST.WRAP4)
+        assert txn.addresses == [0x38, 0x3C, 0x30, 0x34]
+
+    def test_incr_beats_from_data(self):
+        txn = AhbTransaction(True, 0, data=[1, 2, 3],
+                             hburst=HBURST.INCR)
+        assert txn.beats == 3
+
+    def test_unique_ids(self):
+        a = AhbTransaction.read(0)
+        b = AhbTransaction.read(0)
+        assert a.id != b.id
+
+
+class TestValidation:
+    def test_write_needs_data(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(True, 0x0)
+
+    def test_read_takes_no_data(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(False, 0x0, data=[1])
+
+    def test_burst_data_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(True, 0x0, data=[1, 2], hburst=HBURST.INCR4)
+
+    def test_unaligned_address(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(False, 0x2, hsize=HSIZE.WORD)
+
+    def test_fixed_burst_beats_override_rejected(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(False, 0x0, hburst=HBURST.INCR8, beats=4)
+
+    def test_zero_beats_rejected(self):
+        with pytest.raises(ValueError):
+            AhbTransaction(False, 0x0, hburst=HBURST.INCR, beats=0)
+
+
+class TestResults:
+    def test_latency_none_until_complete(self):
+        txn = AhbTransaction.read(0)
+        assert txn.latency is None
+        txn.issue_time = 100
+        txn.complete_time = 500
+        assert txn.latency == 400
+
+    def test_repr(self):
+        txn = AhbTransaction.write_single(0x40, 1)
+        assert "WRITE" in repr(txn)
+        assert "0x40" in repr(txn)
+
+
+class TestBeat:
+    def test_beat_fields(self):
+        txn = AhbTransaction(True, 0x0, data=[10, 20, 30, 40],
+                             hburst=HBURST.INCR4)
+        first = Beat(txn, 0)
+        last = Beat(txn, 3)
+        assert first.first and not first.last
+        assert last.last and not last.first
+        assert first.data == 10 and last.data == 40
+        assert last.address == 0xC
+
+    def test_read_beat_has_no_data(self):
+        txn = AhbTransaction.read(0x0)
+        beat = Beat(txn, 0)
+        assert beat.data is None
+
+    def test_single_beat_is_first_and_last(self):
+        txn = AhbTransaction.read(0x0)
+        beat = Beat(txn, 0)
+        assert beat.first and beat.last

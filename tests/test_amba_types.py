@@ -1,0 +1,162 @@
+"""Unit and property tests for AHB protocol types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.amba.types import (
+    HBURST,
+    HRESP,
+    HSIZE,
+    HTRANS,
+    aligned,
+    burst_addresses,
+    burst_beats,
+    is_active,
+    is_wrapping,
+    next_burst_address,
+    response_name,
+    size_bytes,
+)
+
+
+class TestEncodings:
+    def test_htrans_values_match_spec(self):
+        assert int(HTRANS.IDLE) == 0
+        assert int(HTRANS.BUSY) == 1
+        assert int(HTRANS.NONSEQ) == 2
+        assert int(HTRANS.SEQ) == 3
+
+    def test_hresp_values_match_spec(self):
+        assert int(HRESP.OKAY) == 0
+        assert int(HRESP.ERROR) == 1
+        assert int(HRESP.RETRY) == 2
+        assert int(HRESP.SPLIT) == 3
+
+    def test_size_bytes(self):
+        assert size_bytes(HSIZE.BYTE) == 1
+        assert size_bytes(HSIZE.HALFWORD) == 2
+        assert size_bytes(HSIZE.WORD) == 4
+        assert size_bytes(HSIZE.LINE32) == 128
+
+    def test_is_active(self):
+        assert is_active(HTRANS.NONSEQ)
+        assert is_active(HTRANS.SEQ)
+        assert not is_active(HTRANS.IDLE)
+        assert not is_active(HTRANS.BUSY)
+
+    def test_response_name(self):
+        assert response_name(0) == "OKAY"
+        assert response_name(99).startswith("HRESP")
+
+
+class TestBurstBeats:
+    def test_fixed_beats(self):
+        assert burst_beats(HBURST.SINGLE) == 1
+        assert burst_beats(HBURST.INCR4) == 4
+        assert burst_beats(HBURST.WRAP8) == 8
+        assert burst_beats(HBURST.INCR16) == 16
+
+    def test_incr_is_undefined_length(self):
+        assert burst_beats(HBURST.INCR) is None
+
+    def test_is_wrapping(self):
+        assert is_wrapping(HBURST.WRAP4)
+        assert is_wrapping(HBURST.WRAP16)
+        assert not is_wrapping(HBURST.INCR8)
+        assert not is_wrapping(HBURST.SINGLE)
+
+
+class TestBurstAddresses:
+    def test_incr4_word(self):
+        assert burst_addresses(0x20, HBURST.INCR4, HSIZE.WORD) == \
+            [0x20, 0x24, 0x28, 0x2C]
+
+    def test_wrap4_word_example_from_spec(self):
+        # AMBA spec §3.5.4: WRAP4 word burst at 0x38 wraps at 0x40
+        assert burst_addresses(0x38, HBURST.WRAP4, HSIZE.WORD) == \
+            [0x38, 0x3C, 0x30, 0x34]
+
+    def test_wrap8_halfword(self):
+        addrs = burst_addresses(0x1C, HBURST.WRAP8, HSIZE.HALFWORD)
+        assert addrs[0] == 0x1C
+        assert len(addrs) == 8
+        span = 8 * 2
+        boundary = (0x1C // span) * span
+        assert all(boundary <= a < boundary + span for a in addrs)
+
+    def test_incr_needs_beats(self):
+        with pytest.raises(ValueError):
+            burst_addresses(0, HBURST.INCR, HSIZE.WORD)
+
+    def test_fixed_burst_rejects_beats_override(self):
+        with pytest.raises(ValueError):
+            burst_addresses(0, HBURST.INCR4, HSIZE.WORD, beats=5)
+
+    def test_unaligned_start_rejected(self):
+        with pytest.raises(ValueError):
+            burst_addresses(0x2, HBURST.INCR4, HSIZE.WORD)
+
+    def test_zero_beats_rejected(self):
+        with pytest.raises(ValueError):
+            burst_addresses(0, HBURST.INCR, HSIZE.WORD, beats=0)
+
+
+class TestAlignment:
+    def test_aligned(self):
+        assert aligned(0x4, HSIZE.WORD)
+        assert not aligned(0x2, HSIZE.WORD)
+        assert aligned(0x2, HSIZE.HALFWORD)
+        assert aligned(0x1, HSIZE.BYTE)
+
+
+@st.composite
+def burst_specs(draw):
+    hburst = draw(st.sampled_from(list(HBURST)))
+    hsize = draw(st.sampled_from([HSIZE.BYTE, HSIZE.HALFWORD, HSIZE.WORD]))
+    step = size_bytes(hsize)
+    start = draw(st.integers(min_value=0, max_value=1 << 20)) * step
+    beats = draw(st.integers(min_value=1, max_value=16)) \
+        if hburst == HBURST.INCR else None
+    return hburst, hsize, start, beats
+
+
+class TestBurstProperties:
+    @given(burst_specs())
+    def test_all_beats_aligned(self, spec):
+        hburst, hsize, start, beats = spec
+        for address in burst_addresses(start, hburst, hsize, beats=beats):
+            assert aligned(address, hsize)
+
+    @given(burst_specs())
+    def test_beat_count_matches(self, spec):
+        hburst, hsize, start, beats = spec
+        addrs = burst_addresses(start, hburst, hsize, beats=beats)
+        expected = beats if beats is not None else burst_beats(hburst)
+        assert len(addrs) == expected
+
+    @given(burst_specs())
+    def test_wrapping_bursts_stay_in_window(self, spec):
+        hburst, hsize, start, beats = spec
+        if not is_wrapping(hburst):
+            return
+        addrs = burst_addresses(start, hburst, hsize, beats=beats)
+        span = len(addrs) * size_bytes(hsize)
+        boundary = (start // span) * span
+        assert all(boundary <= a < boundary + span for a in addrs)
+        assert len(set(addrs)) == len(addrs)  # no repeats
+
+    @given(burst_specs())
+    def test_incrementing_bursts_are_monotone(self, spec):
+        hburst, hsize, start, beats = spec
+        if is_wrapping(hburst):
+            return
+        addrs = burst_addresses(start, hburst, hsize, beats=beats)
+        step = size_bytes(hsize)
+        assert all(b - a == step for a, b in zip(addrs, addrs[1:]))
+
+    @given(burst_specs())
+    def test_next_burst_address_consistency(self, spec):
+        hburst, hsize, start, beats = spec
+        addrs = burst_addresses(start, hburst, hsize, beats=beats)
+        for a, b in zip(addrs, addrs[1:]):
+            assert next_burst_address(a, hburst, hsize) == b

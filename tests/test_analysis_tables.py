@@ -1,0 +1,114 @@
+"""Table and plot formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TextTable,
+    ascii_plot,
+    block_contribution_table,
+    comparison_table,
+    format_energy,
+    instruction_class_summary,
+    instruction_energy_table,
+    sparkline,
+)
+from repro.power import EnergyLedger
+
+
+def sample_ledger():
+    ledger = EnergyLedger()
+    ledger.charge_cycle("WRITE_READ", {"M2S": 10e-12, "S2M": 5e-12})
+    ledger.charge_cycle("READ_WRITE", {"M2S": 8e-12, "S2M": 6e-12})
+    ledger.charge_cycle("IDLE_HO_IDLE_HO", {"ARB": 2e-12})
+    return ledger
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer-name", 100])
+        text = table.format()
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_width_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_str(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert "1" in str(table)
+
+
+class TestFormatEnergy:
+    def test_ranges(self):
+        assert format_energy(14.7e-12) == "14.70 pJ"
+        assert format_energy(839.6e-6) == "839.60 uJ"
+        assert format_energy(2.5e-9) == "2.50 nJ"
+        assert format_energy(1e-3) == "1.00 mJ"
+        assert format_energy(5e-16) == "0.50 fJ"
+
+
+class TestLedgerTables:
+    def test_instruction_table_contains_paper_rows(self):
+        text = instruction_energy_table(sample_ledger()).format()
+        for name in ("WRITE_READ", "READ_WRITE", "IDLE_HO_IDLE_HO",
+                     "Total simulation energy"):
+            assert name in text
+        assert "100.00 %" in text
+
+    def test_unlisted_rows_optional(self):
+        ledger = sample_ledger()
+        ledger.charge_cycle("IDLE_IDLE", {"ARB": 1e-12})
+        text = instruction_energy_table(
+            ledger, include_unlisted=False).format()
+        assert "IDLE_IDLE " not in text
+
+    def test_class_summary(self):
+        text = instruction_class_summary(sample_ledger()).format()
+        assert "data transfer" in text
+        assert "arbitration" in text
+
+    def test_block_table_sorted(self):
+        text = block_contribution_table(sample_ledger()).format()
+        m2s_pos = text.index("M2S")
+        arb_pos = text.index("ARB")
+        assert m2s_pos < arb_pos  # M2S has more energy
+
+    def test_comparison_table(self):
+        table = comparison_table([("a", 1), ("b", 2)], ["k", "v"])
+        assert "a" in table.format()
+
+
+class TestPlots:
+    def test_ascii_plot_dimensions(self):
+        xs = np.linspace(0, 4, 50)
+        ys = np.sin(xs) + 1
+        text = ascii_plot(xs, ys, width=40, height=8, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) >= 8
+
+    def test_ascii_plot_empty(self):
+        assert "(no data)" in ascii_plot([], [], title="x")
+
+    def test_ascii_plot_constant_series(self):
+        text = ascii_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in text
+
+    def test_ascii_plot_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1])
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_degenerate(self):
+        assert sparkline([]) == ""
+        assert sparkline([2, 2]) == "  "

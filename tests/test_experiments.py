@@ -1,0 +1,82 @@
+"""Integration tests for the experiment runners (shortened runs).
+
+The full-length shape checks run in the benchmark harness; these tests
+verify the runners execute end to end and their checks pass on
+reduced-duration runs.
+"""
+
+import pytest
+
+from repro.analysis import (
+    characterize_instruction_energies,
+    run_fig6,
+    run_granularity_ablation,
+    run_macromodel_validation,
+    run_model_styles_ablation,
+    run_power_figure,
+    run_table1,
+)
+from repro.kernel import us
+
+
+class TestTable1:
+    def test_full_length_passes_all_checks(self):
+        result = run_table1(seed=1)
+        assert result.passed, result.summary()
+
+    def test_summary_renders(self):
+        result = run_table1(seed=1, duration_ps=us(10))
+        text = result.summary()
+        assert "Table 1" in text
+        assert "shape checks" in text
+
+    def test_other_seed_also_in_band(self):
+        result = run_table1(seed=3)
+        assert 0.75 <= result.metrics["data_transfer_share"] <= 0.97
+
+
+class TestPowerFigures:
+    @pytest.mark.parametrize("block", ["TOTAL", "ARB", "M2S"])
+    def test_figures_pass(self, block):
+        result = run_power_figure(block, seed=1)
+        assert result.passed, result.summary()
+        assert result.metrics["windows"] == 40
+        assert result.metrics["mean_power_w"] > 0
+
+    def test_m2s_dominates_arbiter(self):
+        total = run_power_figure("TOTAL", seed=1)
+        arb = run_power_figure("ARB", seed=1)
+        m2s = run_power_figure("M2S", seed=1)
+        assert m2s.metrics["mean_power_w"] > \
+            4 * arb.metrics["mean_power_w"]
+        assert total.metrics["mean_power_w"] >= \
+            m2s.metrics["mean_power_w"]
+
+
+class TestFig6:
+    def test_passes(self):
+        result = run_fig6(seed=1, duration_ps=us(20))
+        assert result.passed, result.summary()
+        shares = [result.metrics["share_%s" % b]
+                  for b in ("M2S", "S2M", "DEC", "ARB")]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestValidationAndAblations:
+    def test_macromodel_validation(self):
+        result = run_macromodel_validation(samples=150)
+        assert result.passed, result.summary()
+
+    def test_granularity_ablation(self):
+        result = run_granularity_ablation(seed=1, duration_ps=us(20))
+        assert result.passed, result.summary()
+
+    def test_model_styles_ablation(self):
+        result = run_model_styles_ablation(seed=1, duration_ps=us(20))
+        assert result.passed, result.summary()
+
+    def test_instruction_energy_characterisation(self):
+        table = characterize_instruction_energies(seed=2,
+                                                  duration_ps=us(10))
+        assert "WRITE_READ" in table
+        assert all(energy >= 0 for energy in table.values())

@@ -1,0 +1,185 @@
+"""BLIF export/import round-trip tests (SIS interchange format)."""
+
+import io
+
+import pytest
+
+from repro.gatelevel import (
+    AND2,
+    GateLevelSimulator,
+    INV,
+    Netlist,
+    OR2,
+    XOR2,
+    synth_mux,
+    synth_one_hot_decoder,
+    synth_priority_arbiter,
+)
+from repro.gatelevel.blif import (
+    BlifError,
+    load_blif,
+    read_blif,
+    save_blif,
+    write_blif,
+)
+
+
+def roundtrip(netlist):
+    buffer = io.StringIO()
+    write_blif(netlist, buffer)
+    buffer.seek(0)
+    return read_blif(buffer)
+
+
+def outputs_match(original, rebuilt, vectors):
+    sim_a = GateLevelSimulator(original)
+    sim_b = GateLevelSimulator(rebuilt)
+    for vector in vectors:
+        ra = sim_a.step(vector)
+        rb = sim_b.step(vector)
+        va = [ra.outputs[net] for net in original.outputs]
+        vb = [rb.outputs[net] for net in rebuilt.outputs]
+        if va != vb:
+            return False
+    return True
+
+
+def exhaustive_vectors(n_inputs):
+    import itertools
+    return list(itertools.product((0, 1), repeat=n_inputs))
+
+
+class TestExport:
+    def test_header_sections(self):
+        netlist = synth_one_hot_decoder(4)
+        buffer = io.StringIO()
+        write_blif(netlist, buffer, model_name="dec4")
+        text = buffer.getvalue()
+        assert text.startswith(".model dec4\n")
+        assert ".inputs a[0] a[1]" in text
+        assert ".outputs" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_latches_exported(self):
+        netlist = synth_priority_arbiter(3)
+        buffer = io.StringIO()
+        write_blif(netlist, buffer)
+        assert buffer.getvalue().count(".latch") == 3
+
+    def test_cover_rows_for_cells(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.mark_output(netlist.add_cell(OR2, [a, b],
+                                             output_name="y"))
+        buffer = io.StringIO()
+        write_blif(netlist, buffer)
+        text = buffer.getvalue()
+        assert ".names a b y" in text
+        assert "1- 1" in text and "-1 1" in text
+
+    def test_save_and_load_files(self, tmp_path):
+        netlist = synth_one_hot_decoder(4)
+        path = tmp_path / "dec.blif"
+        save_blif(netlist, str(path))
+        rebuilt = load_blif(str(path))
+        assert outputs_match(netlist, rebuilt, exhaustive_vectors(2))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_outputs", [2, 4, 8])
+    def test_decoder_roundtrip(self, n_outputs):
+        netlist = synth_one_hot_decoder(n_outputs)
+        rebuilt = roundtrip(netlist)
+        assert outputs_match(netlist, rebuilt,
+                             exhaustive_vectors(len(netlist.inputs)))
+
+    def test_mux_roundtrip(self):
+        netlist = synth_mux(3, 3)
+        rebuilt = roundtrip(netlist)
+        assert outputs_match(netlist, rebuilt,
+                             exhaustive_vectors(len(netlist.inputs)))
+
+    def test_xor_tree_roundtrip(self):
+        netlist = Netlist("parity")
+        bits = netlist.add_input_bus("d", 4)
+        netlist.mark_output(netlist.tree(XOR2, bits, output_name="p"))
+        rebuilt = roundtrip(netlist)
+        assert outputs_match(netlist, rebuilt, exhaustive_vectors(4))
+
+    def test_sequential_roundtrip(self):
+        netlist = synth_priority_arbiter(3)
+        rebuilt = roundtrip(netlist)
+        assert len(rebuilt.dffs) == 3
+        import random
+        rng = random.Random(4)
+        vectors = [tuple(rng.randint(0, 1) for _ in range(3))
+                   for _ in range(60)]
+        assert outputs_match(netlist, rebuilt, vectors)
+
+    def test_cell_types_recovered(self):
+        netlist = Netlist("t")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.mark_output(netlist.add_cell(AND2, [a, b]))
+        netlist.mark_output(netlist.add_cell(INV, [a]))
+        rebuilt = roundtrip(netlist)
+        kinds = sorted(cell.cell_type.name for cell in rebuilt.cells)
+        assert kinds == ["AND2", "INV"]
+
+
+class TestForeignBlif:
+    def test_parse_hand_written_sis_style(self):
+        text = """# produced by sis
+.model half_adder
+.inputs x y
+.outputs s c
+.names x y s
+01 1
+10 1
+.names x y c
+11 1
+.end
+"""
+        netlist = read_blif(io.StringIO(text))
+        sim = GateLevelSimulator(netlist)
+        for x, y in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            result = sim.step([x, y], clock=False)
+            values = [result.outputs[net] for net in netlist.outputs]
+            assert values == [x ^ y, x & y]
+
+    def test_dont_care_and_offset_covers(self):
+        text = """.model f
+.inputs a b c
+.outputs y
+.names a b c y
+1-- 0
+-1- 0
+.end
+"""
+        # y = NOT(a OR b): OFF-set cover
+        netlist = read_blif(io.StringIO(text))
+        sim = GateLevelSimulator(netlist)
+        for a in (0, 1):
+            for b in (0, 1):
+                result = sim.step([a, b, 0], clock=False)
+                assert list(result.outputs.values()) == [1 - (a | b)]
+
+    def test_line_continuation(self):
+        text = """.model f
+.inputs a \\
+b
+.outputs y
+.names a b y
+11 1
+.end
+"""
+        netlist = read_blif(io.StringIO(text))
+        assert len(netlist.inputs) == 2
+
+    def test_errors(self):
+        with pytest.raises(BlifError):
+            read_blif(io.StringIO(".model f\n.garbage\n.end\n"))
+        with pytest.raises(BlifError):
+            read_blif(io.StringIO(
+                ".model f\n.inputs a\n.outputs y\n.end\n"))

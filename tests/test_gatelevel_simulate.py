@@ -1,0 +1,124 @@
+"""Gate-level simulation and energy accounting tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gatelevel import (
+    AND2,
+    GateLevelSimulator,
+    INV,
+    Netlist,
+    XOR2,
+    int_to_bits,
+    synth_mux,
+    synth_one_hot_decoder,
+    synth_priority_arbiter,
+)
+
+
+def simple_and():
+    nl = Netlist("and")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    nl.mark_output(nl.add_cell(AND2, [a, b], output_name="y"))
+    return nl
+
+
+class TestFunctionalStepping:
+    def test_and_truth_table(self):
+        sim = GateLevelSimulator(simple_and())
+        for a, b, y in ((0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)):
+            result = sim.step([a, b], clock=False)
+            assert list(result.outputs.values()) == [y]
+
+    def test_step_ints_and_output_int(self):
+        nl = synth_one_hot_decoder(4)
+        sim = GateLevelSimulator(nl)
+        sim.step_ints(a=2)
+        assert sim.output_int() == 0b100
+
+    def test_dff_delays_by_one_clock(self):
+        nl = Netlist("reg")
+        d = nl.add_input("d")
+        q = nl.add_dff(d, q_name="q")
+        nl.mark_output(q)
+        sim = GateLevelSimulator(nl)
+        r1 = sim.step([1])
+        assert r1.outputs[q] == 1  # captured at the end of the step
+        r2 = sim.step([0])
+        assert r2.outputs[q] == 0
+
+
+class TestEnergyAccounting:
+    def test_no_input_change_costs_nothing_comb(self):
+        sim = GateLevelSimulator(simple_and())
+        sim.step([1, 1], clock=False)
+        result = sim.step([1, 1], clock=False)
+        assert result.energy == 0.0
+        assert result.toggles == 0
+
+    def test_energy_scales_with_vdd_squared(self):
+        low = GateLevelSimulator(simple_and(), vdd=1.0)
+        high = GateLevelSimulator(simple_and(), vdd=2.0)
+        e_low = low.step([1, 1], clock=False).energy
+        e_high = high.step([1, 1], clock=False).energy
+        assert abs(e_high / e_low - 4.0) < 1e-9
+
+    def test_toggle_counts_accumulate(self):
+        sim = GateLevelSimulator(simple_and())
+        sim.step([1, 1], clock=False)
+        sim.step([0, 1], clock=False)
+        assert sim.total_toggles > 0
+        assert sim.steps == 2
+        assert sim.mean_energy_per_step > 0
+
+    def test_dff_clock_energy_charged_every_step(self):
+        nl = Netlist("reg")
+        d = nl.add_input("d")
+        nl.mark_output(nl.add_dff(d))
+        sim = GateLevelSimulator(nl)
+        # no data change at all, but the clock pin still burns energy
+        result = sim.step([0])
+        assert result.energy > 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_never_negative_and_bounded(self, codes):
+        nl = synth_one_hot_decoder(4)
+        sim = GateLevelSimulator(nl, vdd=1.8)
+        bound = nl.total_capacitance() * 0.5 * 1.8 * 1.8
+        for code in codes:
+            result = sim.step_ints(a=code)
+            assert result.energy >= 0
+            assert result.energy <= bound + 1e-18
+
+
+class TestXor:
+    def test_xor_parity_chain(self):
+        nl = Netlist("parity")
+        bits = nl.add_input_bus("d", 4)
+        nl.mark_output(nl.tree(XOR2, bits, output_name="p"))
+        sim = GateLevelSimulator(nl)
+        for value in range(16):
+            result = sim.step(int_to_bits(value, 4), clock=False)
+            expected = bin(value).count("1") % 2
+            assert list(result.outputs.values()) == [expected]
+
+
+class TestSequentialEnergy:
+    def test_arbiter_handover_costs_more_than_idle(self):
+        nl = synth_priority_arbiter(3)
+        sim = GateLevelSimulator(nl)
+        sim.step_ints(req=0b010)
+        idle = sim.step_ints(req=0b010).energy      # grant stable
+        change = sim.step_ints(req=0b001).energy    # grant moves
+        assert change > idle
+
+    def test_mux_select_change_expensive(self):
+        nl = synth_mux(4, 16)
+        sim = GateLevelSimulator(nl)
+        legs = {"d0": 0xAAAA, "d1": 0x5555, "d2": 0, "d3": 0xFFFF}
+        sim.step_ints(**legs, s=0)
+        stable = sim.step_ints(**legs, s=0).energy
+        switch = sim.step_ints(**legs, s=1).energy
+        assert switch > stable

@@ -1,0 +1,94 @@
+"""Unit tests for the clock generator."""
+
+import pytest
+
+from repro.kernel import Clock, MHz, Simulator, clock_period, ns
+
+
+class TestClockBasics:
+    def test_period_and_edge_count(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        edges = []
+        sim.add_method(lambda: edges.append(sim.now), [clk.posedge],
+                       initialize=False)
+        sim.run(until=ns(100))
+        assert len(edges) == 10
+        # consecutive rising edges are one period apart
+        deltas = {b - a for a, b in zip(edges, edges[1:])}
+        assert deltas == {ns(10)}
+
+    def test_starts_low(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        assert clk.value == 0
+
+    def test_duty_cycle(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10), duty=0.3)
+        pos, neg = [], []
+        sim.add_method(lambda: pos.append(sim.now), [clk.posedge],
+                       initialize=False)
+        sim.add_method(lambda: neg.append(sim.now), [clk.negedge],
+                       initialize=False)
+        sim.run(until=ns(50))
+        assert pos and neg
+        high_time = neg[0] - pos[0]
+        assert high_time == ns(3)
+
+    def test_from_frequency(self):
+        sim = Simulator()
+        clk = Clock.from_frequency(sim, "clk", MHz(100))
+        assert clk.period == clock_period(MHz(100)) == ns(10)
+
+    def test_cycles_counter(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        sim.run(until=ns(95))
+        assert clk.cycles == 10  # edges at 5,15,...,95
+
+    def test_negedge_event(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        neg = []
+        sim.add_method(lambda: neg.append(sim.now), [clk.negedge],
+                       initialize=False)
+        sim.run(until=ns(40))
+        assert len(neg) >= 3
+
+
+class TestClockValidation:
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Clock(sim, "clk", period=0)
+
+    def test_bad_duty_rejected(self):
+        sim = Simulator()
+        for duty in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                Clock(sim, "clk%f" % duty, period=ns(10), duty=duty)
+
+    def test_degenerate_duty_leaves_no_low_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Clock(sim, "clk", period=2, duty=0.99)
+
+    def test_repr(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        assert "clk" in repr(clk)
+
+
+class TestTwoClockDomains:
+    def test_independent_clocks(self):
+        sim = Simulator()
+        fast = Clock(sim, "fast", period=ns(10))
+        slow = Clock(sim, "slow", period=ns(30))
+        fast_edges, slow_edges = [], []
+        sim.add_method(lambda: fast_edges.append(sim.now),
+                       [fast.posedge], initialize=False)
+        sim.add_method(lambda: slow_edges.append(sim.now),
+                       [slow.posedge], initialize=False)
+        sim.run(until=ns(300))
+        assert len(fast_edges) == 3 * len(slow_edges)

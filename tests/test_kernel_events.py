@@ -1,0 +1,174 @@
+"""Unit tests for events and processes."""
+
+import pytest
+
+from repro.kernel import Event, Signal, SimulationError, Simulator, ns
+
+
+class TestEventNotify:
+    def test_delta_notify_wakes_thread(self):
+        sim = Simulator()
+        ev = sim.event("go")
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(sim.now)
+
+        def notifier():
+            yield ns(3)
+            ev.notify()
+
+        sim.add_thread(waiter)
+        sim.add_thread(notifier)
+        sim.run()
+        assert log == [ns(3)]
+
+    def test_timed_notify(self):
+        sim = Simulator()
+        ev = sim.event("go")
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(sim.now)
+
+        ev.notify(delay=ns(5))
+        sim.add_thread(waiter)
+        sim.run()
+        assert log == [ns(5)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        ev = sim.event("go")
+        with pytest.raises(ValueError):
+            ev.notify(delay=-1)
+
+
+class TestWaitAny:
+    def test_first_event_wins_and_others_are_disarmed(self):
+        sim = Simulator()
+        a = sim.event("a")
+        b = sim.event("b")
+        log = []
+
+        def waiter():
+            yield (a, b)
+            log.append("woken@%d" % sim.now)
+            # waiting again only on b: a firing later must not wake us
+            yield b
+            log.append("b@%d" % sim.now)
+
+        def driver():
+            yield ns(1)
+            a.notify()
+            yield ns(1)
+            a.notify()  # waiter is not waiting on a anymore
+            yield ns(1)
+            b.notify()
+
+        sim.add_thread(waiter)
+        sim.add_thread(driver)
+        sim.run()
+        assert log == ["woken@%d" % ns(1), "b@%d" % ns(3)]
+
+    def test_empty_wait_list_rejected(self):
+        sim = Simulator()
+
+        def waiter():
+            yield ()
+
+        sim.add_thread(waiter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_wait_on_signal_uses_changed_event(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig")
+        log = []
+
+        def waiter():
+            yield sig
+            log.append(sig.value)
+
+        def driver():
+            yield ns(1)
+            sig.write(42)
+
+        sim.add_thread(waiter)
+        sim.add_thread(driver)
+        sim.run()
+        assert log == [42]
+
+    def test_wait_on_garbage_raises_typeerror(self):
+        from repro.kernel import ProcessError
+        sim = Simulator()
+
+        def waiter():
+            yield "nonsense"
+
+        sim.add_thread(waiter)
+        with pytest.raises(ProcessError) as excinfo:
+            sim.run()
+        assert isinstance(excinfo.value.original, TypeError)
+
+
+class TestMethodProcesses:
+    def test_initialize_runs_once_at_start(self):
+        sim = Simulator()
+        runs = []
+        sim.add_method(lambda: runs.append(sim.now), [sim.event("never")])
+        sim.run()
+        assert runs == [0]
+
+    def test_dont_initialize(self):
+        sim = Simulator()
+        runs = []
+        sim.add_method(lambda: runs.append(sim.now), [sim.event("never")],
+                       initialize=False)
+        sim.run()
+        assert runs == []
+
+    def test_sensitivity_to_multiple_events(self):
+        sim = Simulator()
+        a = sim.event("a")
+        b = sim.event("b")
+        runs = []
+        sim.add_method(lambda: runs.append(sim.now), [a, b],
+                       initialize=False)
+
+        def driver():
+            yield ns(1)
+            a.notify()
+            yield ns(1)
+            b.notify()
+
+        sim.add_thread(driver)
+        sim.run()
+        assert runs == [ns(1), ns(2)]
+
+
+class TestThreadLifecycle:
+    def test_thread_terminates_on_return(self):
+        sim = Simulator()
+        log = []
+
+        def once():
+            log.append("ran")
+            return
+            yield  # pragma: no cover
+
+        proc = sim.add_thread(once)
+        sim.run()
+        assert log == ["ran"]
+        assert proc.terminated
+
+    def test_negative_delay_in_thread_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -5
+
+        sim.add_thread(bad)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,94 @@
+"""Unit tests for hierarchical modules."""
+
+import pytest
+
+from repro.kernel import Clock, ElaborationError, Module, Simulator, ns
+
+
+class Leaf(Module):
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.out = self.signal("out", width=4)
+
+
+class Mid(Module):
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.leaf_a = Leaf(sim, "leaf_a", parent=self)
+        self.leaf_b = Leaf(sim, "leaf_b", parent=self)
+
+
+class TestHierarchy:
+    def test_hierarchical_names(self):
+        sim = Simulator()
+        top = Mid(sim, "top")
+        assert top.leaf_a.name == "top.leaf_a"
+        assert top.leaf_a.out.name == "top.leaf_a.out"
+
+    def test_duplicate_child_name_rejected(self):
+        sim = Simulator()
+        top = Mid(sim, "top")
+        with pytest.raises(ElaborationError):
+            Leaf(sim, "leaf_a", parent=top)
+
+    def test_iter_modules_depth_first(self):
+        sim = Simulator()
+        top = Mid(sim, "top")
+        names = [module.name for module in top.iter_modules()]
+        assert names == ["top", "top.leaf_a", "top.leaf_b"]
+
+    def test_find(self):
+        sim = Simulator()
+        top = Mid(sim, "top")
+        assert top.find("leaf_b") is top.leaf_b
+        with pytest.raises(KeyError):
+            top.find("missing")
+
+    def test_repr(self):
+        sim = Simulator()
+        top = Mid(sim, "top")
+        assert "top" in repr(top)
+
+
+class TestModuleProcesses:
+    def test_method_and_thread_helpers(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+
+        class Counter(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.count = self.signal("count", width=8)
+                self.ticks = []
+                self.method(self.on_clk, [clk.posedge],
+                            initialize=False)
+                self.thread(self.logger)
+
+            def on_clk(self):
+                self.count.write(self.count.value + 1)
+
+            def logger(self):
+                while True:
+                    yield self.count.changed
+                    self.ticks.append((self.sim.now, self.count.value))
+
+        counter = Counter(sim, "ctr")
+        sim.run(until=ns(45))
+        # rising edges at 5, 15, 25, 35 and 45 ns
+        assert counter.count.value == 5
+        assert counter.ticks[0][1] == 1
+
+    def test_process_names_are_hierarchical(self):
+        sim = Simulator()
+
+        class Named(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.proc = self.method(self.step, [],
+                                        initialize=False)
+
+            def step(self):
+                pass
+
+        module = Named(sim, "dut")
+        assert module.proc.name == "dut.step"

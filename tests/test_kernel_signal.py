@@ -1,0 +1,148 @@
+"""Unit tests for Signal evaluate/update semantics."""
+
+import pytest
+
+from repro.kernel import Signal, Simulator, ns
+
+
+def make():
+    sim = Simulator()
+    sig = Signal(sim, "s", init=0, width=8)
+    return sim, sig
+
+
+class TestWriteCommit:
+    def test_write_is_delta_delayed(self):
+        sim, sig = make()
+        observed = []
+
+        def writer():
+            sig.write(5)
+            observed.append(sig.value)  # still old value this delta
+            yield ns(1)
+            observed.append(sig.value)
+
+        sim.add_thread(writer)
+        sim.run()
+        assert observed == [0, 5]
+
+    def test_same_value_write_fires_no_event(self):
+        sim, sig = make()
+        fired = []
+        sim.add_method(lambda: fired.append(sim.now), [sig],
+                       initialize=False)
+
+        def writer():
+            sig.write(0)  # same as init
+            yield ns(1)
+            sig.write(3)
+            yield ns(1)
+
+        sim.add_thread(writer)
+        sim.run()
+        assert len(fired) == 1
+
+    def test_last_write_wins_within_delta(self):
+        sim, sig = make()
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+            yield ns(1)
+
+        sim.add_thread(writer)
+        sim.run()
+        assert sig.value == 2
+
+    def test_force_initialises_without_events(self):
+        sim, sig = make()
+        fired = []
+        sim.add_method(lambda: fired.append(1), [sig], initialize=False)
+        sig.force(9)
+        sim.run()
+        assert sig.value == 9
+        assert fired == []
+
+
+class TestEdges:
+    def test_posedge_and_negedge(self):
+        sim, sig = make()
+        log = []
+
+        def waiter():
+            yield sig.posedge
+            log.append(("pos", sim.now))
+            yield sig.negedge
+            log.append(("neg", sim.now))
+
+        def driver():
+            yield ns(2)
+            sig.write(1)
+            yield ns(2)
+            sig.write(0)
+
+        sim.add_thread(waiter)
+        sim.add_thread(driver)
+        sim.run()
+        assert log == [("pos", ns(2)), ("neg", ns(4))]
+
+    def test_nonzero_to_nonzero_is_not_posedge(self):
+        sim, sig = make()
+        hits = []
+        sim.add_method(lambda: hits.append(sig.value), [sig.posedge],
+                       initialize=False)
+
+        def driver():
+            sig.write(1)
+            yield ns(1)
+            sig.write(2)  # truthy -> truthy: changed, not posedge
+            yield ns(1)
+
+        sim.add_thread(driver)
+        sim.run()
+        assert hits == [1]
+
+
+class TestWatchers:
+    def test_watcher_sees_old_and_new(self):
+        sim, sig = make()
+        seen = []
+        sig.add_watcher(lambda s, old, new: seen.append((old, new)))
+
+        def driver():
+            sig.write(4)
+            yield ns(1)
+            sig.write(7)
+            yield ns(1)
+
+        sim.add_thread(driver)
+        sim.run()
+        assert seen == [(0, 4), (4, 7)]
+
+    def test_watcher_not_called_on_unchanged_commit(self):
+        sim, sig = make()
+        seen = []
+        sig.add_watcher(lambda s, old, new: seen.append(new))
+
+        def driver():
+            sig.write(0)
+            yield ns(1)
+
+        sim.add_thread(driver)
+        sim.run()
+        assert seen == []
+
+
+class TestMisc:
+    def test_bool_raises(self):
+        _, sig = make()
+        with pytest.raises(TypeError):
+            bool(sig)
+
+    def test_read_alias(self):
+        _, sig = make()
+        assert sig.read() == sig.value == 0
+
+    def test_repr_contains_name(self):
+        _, sig = make()
+        assert "s" in repr(sig)

@@ -1,0 +1,186 @@
+"""Unit tests for the delta-cycle scheduler."""
+
+import pytest
+
+from repro.kernel import (
+    DeltaCycleLimitError,
+    ProcessError,
+    Signal,
+    SimulationError,
+    Simulator,
+    ns,
+)
+
+
+class TestDeltaCycles:
+    def test_combinational_chain_settles_in_one_time_step(self):
+        sim = Simulator()
+        a = Signal(sim, "a")
+        b = Signal(sim, "b")
+        c = Signal(sim, "c")
+        sim.add_method(lambda: b.write(a.value + 1), [a])
+        sim.add_method(lambda: c.write(b.value * 2), [b])
+
+        def driver():
+            yield ns(1)
+            a.write(10)
+
+        sim.add_thread(driver)
+        sim.run()
+        assert sim.now == ns(1)
+        assert (b.value, c.value) == (11, 22)
+
+    def test_zero_delay_loop_detected(self):
+        sim = Simulator(max_delta_cycles=50)
+        a = Signal(sim, "a")
+        b = Signal(sim, "b")
+        # a = not b; b = not a with no stable point given init values.
+        sim.add_method(lambda: a.write(1 - b.value), [b])
+        sim.add_method(lambda: b.write(a.value), [a])
+
+        def kick():
+            yield ns(1)
+            a.write(1 - a.value)
+
+        sim.add_thread(kick)
+        with pytest.raises(DeltaCycleLimitError):
+            sim.run()
+
+    def test_all_processes_in_delta_see_same_snapshot(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig", init=7)
+        seen = []
+
+        def p1():
+            sig.write(8)
+            seen.append(("p1", sig.value))
+            yield ns(1)
+
+        def p2():
+            seen.append(("p2", sig.value))
+            yield ns(1)
+
+        sim.add_thread(p1)
+        sim.add_thread(p2)
+        sim.run()
+        assert ("p1", 7) in seen and ("p2", 7) in seen
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig")
+
+        def driver():
+            while True:
+                sig.write(sig.value + 1)
+                yield ns(10)
+
+        sim.add_thread(driver)
+        sim.run(until=ns(35))
+        assert sim.now == ns(35)
+        # events at 0, 10, 20, 30 ran; event at 40 pending
+        assert sig.value == 4
+
+    def test_run_resumes_where_it_stopped(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig")
+
+        def driver():
+            while True:
+                sig.write(sig.value + 1)
+                yield ns(10)
+
+        sim.add_thread(driver)
+        sim.run(until=ns(25))
+        first = sig.value
+        sim.run(until=ns(55))
+        assert sig.value > first
+        assert sim.now == ns(55)
+
+    def test_run_without_events_returns_immediately(self):
+        sim = Simulator()
+        assert sim.run() == 0
+
+    def test_stop_from_process(self):
+        sim = Simulator()
+        log = []
+
+        def runner():
+            for index in range(100):
+                log.append(index)
+                if index == 3:
+                    sim.stop()
+                yield ns(1)
+
+        sim.add_thread(runner)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_max_time_steps_guard(self):
+        sim = Simulator()
+
+        def ticker():
+            while True:
+                yield ns(1)
+
+        sim.add_thread(ticker)
+        sim.run(max_time_steps=5)
+        assert sim.now <= ns(6)
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+            yield ns(1)
+
+        sim.add_thread(nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestErrors:
+    def test_process_exception_wrapped(self):
+        sim = Simulator()
+
+        def bad():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        sim.add_thread(bad, name="badproc")
+        with pytest.raises(ProcessError) as excinfo:
+            sim.run()
+        assert "badproc" in str(excinfo.value)
+        assert isinstance(excinfo.value.original, RuntimeError)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            sim = Simulator()
+            sig = Signal(sim, "sig", width=16)
+            log = []
+
+            def driver():
+                value = 1
+                while True:
+                    value = (value * 5 + 1) % 65536
+                    sig.write(value)
+                    yield ns(3)
+
+            sim.add_method(lambda: log.append((sim.now, sig.value)),
+                           [sig], initialize=False)
+            sim.add_thread(driver)
+            sim.run(until=ns(100))
+            return log
+
+        assert build() == build()
+
+    def test_introspection(self):
+        sim = Simulator()
+        Signal(sim, "a")
+        sim.add_method(lambda: None, [], name="m")
+        assert len(sim.signals) == 1
+        assert len(sim.processes) == 1
+        assert "Simulator" in repr(sim)

@@ -1,0 +1,87 @@
+"""Simulation profiler tests."""
+
+import pytest
+
+from repro.kernel import (
+    Clock,
+    MHz,
+    Signal,
+    SimulationProfiler,
+    Simulator,
+    ns,
+    us,
+)
+
+
+def counting_sim():
+    sim = Simulator()
+    clk = Clock.from_frequency(sim, "clk", MHz(100))
+    count = Signal(sim, "count", width=32)
+    sim.add_method(lambda: count.write(count.value + 1),
+                   [clk.posedge], initialize=False, name="counter")
+    return sim, count
+
+
+class TestProfiler:
+    def test_counts_activations(self):
+        sim, count = counting_sim()
+        profiler = SimulationProfiler(sim)
+        profiler.install()
+        sim.run(until=us(1))
+        profiler.uninstall()
+        counter_profile = profiler.profiles["counter"]
+        assert counter_profile.activations == 100
+        assert counter_profile.total_seconds >= 0
+
+    def test_functionality_unchanged_by_profiling(self):
+        sim, count = counting_sim()
+        with SimulationProfiler(sim):
+            sim.run(until=us(1))
+        assert count.value == 100
+
+    def test_uninstall_restores_bodies(self):
+        sim, count = counting_sim()
+        profiler = SimulationProfiler(sim)
+        profiler.install()
+        sim.run(until=ns(100))
+        activations = profiler.profiles["counter"].activations
+        profiler.uninstall()
+        sim.run(until=ns(200))
+        assert profiler.profiles["counter"].activations == activations
+        assert count.value == 20  # still counting
+
+    def test_double_install_rejected(self):
+        sim, _ = counting_sim()
+        profiler = SimulationProfiler(sim).install()
+        with pytest.raises(RuntimeError):
+            profiler.install()
+        profiler.uninstall()
+        profiler.uninstall()  # idempotent
+
+    def test_hottest_and_report(self):
+        sim, _ = counting_sim()
+        with SimulationProfiler(sim) as profiler:
+            sim.run(until=us(2))
+        hottest = profiler.hottest(2)
+        assert hottest
+        assert hottest[0].total_seconds >= hottest[-1].total_seconds
+        report = profiler.report()
+        assert "counter" in report
+        assert "activations" in report
+
+    def test_delta_count_observed(self):
+        sim, _ = counting_sim()
+        with SimulationProfiler(sim) as profiler:
+            sim.run(until=us(1))
+        assert profiler.deltas_observed > 0
+        assert profiler.total_activations >= 100
+
+    def test_profile_full_testbench(self):
+        """The profiler identifies the monitor as a major cost on an
+        instrumented run (the mechanics behind experiment E6)."""
+        from repro.workloads import build_paper_testbench
+        tb = build_paper_testbench(seed=1, checker=False)
+        with SimulationProfiler(tb.sim) as profiler:
+            tb.run(us(10))
+        names = [profile.name for profile in profiler.hottest(5)]
+        assert any("power_monitor" in name for name in names)

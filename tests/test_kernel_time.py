@@ -1,0 +1,95 @@
+"""Unit tests for repro.kernel.time."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.time import (
+    GHz,
+    MHz,
+    clock_period,
+    format_time,
+    kHz,
+    ms,
+    ns,
+    ps,
+    seconds,
+    to_ns,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+class TestUnitConstructors:
+    def test_ps_is_identity(self):
+        assert ps(7) == 7
+
+    def test_ns(self):
+        assert ns(10) == 10_000
+
+    def test_us(self):
+        assert us(50) == 50_000_000
+
+    def test_ms(self):
+        assert ms(1) == 1_000_000_000
+
+    def test_seconds(self):
+        assert seconds(1) == 1_000_000_000_000
+
+    def test_fractional_rounding(self):
+        assert ns(0.5) == 500
+        assert ns(0.0004) == 0  # rounds to nearest ps
+
+    def test_units_are_integers(self):
+        for value in (ns(3.3), us(1.7), ms(0.25)):
+            assert isinstance(value, int)
+
+
+class TestFrequencies:
+    def test_clock_period_100mhz(self):
+        assert clock_period(MHz(100)) == 10_000
+
+    def test_clock_period_1ghz(self):
+        assert clock_period(GHz(1)) == 1_000
+
+    def test_clock_period_khz(self):
+        assert clock_period(kHz(100)) == 10_000_000
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            clock_period(0)
+        with pytest.raises(ValueError):
+            clock_period(-5)
+
+
+class TestConversions:
+    def test_roundtrip_seconds(self):
+        assert to_seconds(seconds(2)) == pytest.approx(2.0)
+
+    def test_to_ns(self):
+        assert to_ns(10_000) == pytest.approx(10.0)
+
+    def test_to_us(self):
+        assert to_us(50_000_000) == pytest.approx(50.0)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_to_seconds_monotone(self, t):
+        assert to_seconds(t) >= 0
+        assert to_seconds(t + 1) > to_seconds(t)
+
+
+class TestFormatTime:
+    def test_ps_range(self):
+        assert format_time(999) == "999 ps"
+
+    def test_ns_range(self):
+        assert format_time(10_000) == "10.000 ns"
+
+    def test_us_range(self):
+        assert format_time(50_000_000) == "50.000 us"
+
+    def test_ms_range(self):
+        assert "ms" in format_time(ms(3))
+
+    def test_s_range(self):
+        assert format_time(seconds(1)) == "1.000 s"

@@ -1,0 +1,107 @@
+"""Unit tests for the VCD tracer."""
+
+import pytest
+
+from repro.kernel import Clock, Signal, Simulator, TracingError, VcdTracer, ns
+
+
+def run_traced(tmp_path, width=4):
+    sim = Simulator()
+    clk = Clock(sim, "clk", period=ns(10))
+    data = Signal(sim, "data", width=width)
+    sim.add_method(lambda: data.write((data.value + 3) % 16),
+                   [clk.posedge], initialize=False)
+    path = tmp_path / "waves.vcd"
+    tracer = VcdTracer(sim, str(path), timescale="1ps")
+    tracer.trace(clk.signal, "clk")
+    tracer.trace(data, "data")
+    sim.run(until=ns(50))
+    tracer.close()
+    return path.read_text()
+
+
+class TestVcdOutput:
+    def test_header_sections(self, tmp_path):
+        text = run_traced(tmp_path)
+        assert "$timescale 1ps $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_var_declarations(self, tmp_path):
+        text = run_traced(tmp_path)
+        assert "$var wire 1" in text      # clk
+        assert "$var wire 4" in text      # data bus
+
+    def test_time_markers_monotonic(self, tmp_path):
+        text = run_traced(tmp_path)
+        times = [int(line[1:]) for line in text.splitlines()
+                 if line.startswith("#")]
+        assert times == sorted(times)
+        assert times[-1] == ns(50)
+
+    def test_vector_values_recorded(self, tmp_path):
+        text = run_traced(tmp_path)
+        # data goes 3, 6, 9, ... -> binary vector tokens present
+        assert "b11 " in text
+        assert "b110 " in text
+
+    def test_scalar_values_recorded(self, tmp_path):
+        text = run_traced(tmp_path)
+        lines = text.splitlines()
+        scalar_lines = [line for line in lines
+                        if line and line[0] in "01" and len(line) <= 3]
+        assert scalar_lines, "no scalar toggles recorded"
+
+
+class TestTracerLifecycle:
+    def test_trace_after_first_record_rejected(self, tmp_path):
+        sim = Simulator()
+        sig = Signal(sim, "a")
+        other = Signal(sim, "b")
+        tracer = VcdTracer(sim, str(tmp_path / "x.vcd"))
+        tracer.trace(sig)
+
+        def driver():
+            sig.write(1)
+            yield ns(1)
+
+        sim.add_thread(driver)
+        sim.run()
+        with pytest.raises(TracingError):
+            tracer.trace(other)
+        tracer.close()
+
+    def test_close_idempotent(self, tmp_path):
+        sim = Simulator()
+        sig = Signal(sim, "a")
+        tracer = VcdTracer(sim, str(tmp_path / "x.vcd"))
+        tracer.trace(sig)
+        tracer.close()
+        tracer.close()  # no error
+
+    def test_context_manager(self, tmp_path):
+        sim = Simulator()
+        sig = Signal(sim, "a")
+        path = tmp_path / "ctx.vcd"
+        with VcdTracer(sim, str(path)) as tracer:
+            tracer.trace(sig)
+        assert path.exists()
+
+    def test_untraced_signals_cost_nothing(self, tmp_path):
+        sim = Simulator()
+        traced = Signal(sim, "t")
+        untraced = Signal(sim, "u")
+        tracer = VcdTracer(sim, str(tmp_path / "y.vcd"))
+        tracer.trace(traced)
+
+        def driver():
+            untraced.write(1)
+            traced.write(1)
+            yield ns(1)
+
+        sim.add_thread(driver)
+        sim.run()
+        tracer.close()
+        text = (tmp_path / "y.vcd").read_text()
+        assert "$var wire 1" in text
+        assert text.count("$var") == 1

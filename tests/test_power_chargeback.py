@@ -1,0 +1,47 @@
+"""Per-master energy chargeback tests."""
+
+import pytest
+
+from repro.amba import AhbTransaction
+from repro.kernel import us
+from repro.power import GlobalPowerMonitor
+from tests.conftest import SmallSystem
+
+
+def monitored_system():
+    system = SmallSystem()
+    monitor = GlobalPowerMonitor(system.sim, "mon", system.bus)
+    return system, monitor
+
+
+class TestChargeback:
+    def test_shares_sum_to_one(self):
+        system, monitor = monitored_system()
+        system.m0.enqueue(AhbTransaction.write_single(0x0, 1))
+        system.m1.enqueue(AhbTransaction.write_single(0x100, 2))
+        system.run_us(10)
+        shares = monitor.master_energy_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert sum(monitor.master_energy) == pytest.approx(
+            monitor.total_energy)
+
+    def test_busy_master_pays_more(self):
+        system, monitor = monitored_system()
+        for k in range(30):
+            system.m0.enqueue(AhbTransaction.write_single(
+                4 * k, 0xFFFFFFFF if k % 2 else 0))
+        system.m1.enqueue(AhbTransaction.write_single(0x100, 1))
+        system.run_us(10)
+        energy = monitor.master_energy
+        assert energy[0] > 5 * energy[1]
+
+    def test_idle_system_charges_default_master(self):
+        system, monitor = monitored_system()
+        system.run_us(5)
+        shares = monitor.master_energy_shares()
+        # default master (index 2) owns the parked bus
+        assert shares[2] == pytest.approx(1.0)
+
+    def test_empty_run_has_zero_shares(self):
+        system, monitor = monitored_system()
+        assert monitor.master_energy_shares() == [0.0, 0.0, 0.0]

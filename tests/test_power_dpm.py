@@ -1,0 +1,152 @@
+"""Dynamic power management tests (clock gating)."""
+
+import pytest
+
+from repro.kernel import Clock, MHz, Simulator, us
+from repro.power import (
+    ClockGateController,
+    GlobalPowerMonitor,
+    evaluate_gating_policy,
+)
+from repro.workloads import AhbSystem, PaperWriteReadSource
+
+
+def bursty_system(idle_threshold=4, gate=True, clock_tree=True,
+                  seed=1):
+    """A system with long idle windows so gating has something to do."""
+    regions = [(i * 0x1000, 0x1000) for i in range(2)]
+    sources = [PaperWriteReadSource(regions, seed=seed, max_pairs=3,
+                                    idle_range=(20, 60))]
+    system = AhbSystem(sources, n_slaves=2, power_analysis=False,
+                       monitor_style="none", checker=False)
+    controller = None
+    if gate:
+        controller = ClockGateController(
+            system.sim, "cgc", system.bus,
+            idle_threshold=idle_threshold)
+    monitor = GlobalPowerMonitor(
+        system.sim, "mon", system.bus,
+        with_clock_tree=clock_tree, clock_gate=controller)
+    return system, controller, monitor
+
+
+class TestClockGateController:
+    def test_gates_during_idle_windows(self):
+        system, controller, _ = bursty_system()
+        system.run(us(50))
+        assert controller.gate_events > 0
+        assert controller.wake_events > 0
+        assert controller.gated_cycles > 100
+        assert 0.0 < controller.gated_fraction < 1.0
+
+    def test_never_gated_while_transferring(self):
+        system, controller, _ = bursty_system()
+        samples = []
+        system.sim.add_method(
+            lambda: samples.append((system.bus.htrans.value,
+                                    controller.gated.value)),
+            [system.clk.posedge], initialize=False)
+        system.run(us(50))
+        # one-cycle wake lag allowed: a transfer may start the cycle
+        # after the wake decision, never later
+        lagged = 0
+        for (htrans, gated), (_, prev_gated) in zip(samples[1:],
+                                                    samples[:-1]):
+            if htrans != 0 and gated:
+                lagged += 1
+                assert prev_gated, "gated for >1 cycle into a transfer"
+        assert lagged <= samples.count((0, 1)) + 10
+
+    def test_threshold_validation(self):
+        sim = Simulator()
+        clk = Clock.from_frequency(sim, "clk", MHz(100))
+
+        class FakeBus:
+            pass
+
+        with pytest.raises(ValueError):
+            system, _, _ = bursty_system(idle_threshold=0)
+
+    def test_higher_threshold_gates_less(self):
+        def gated_cycles(threshold):
+            system, controller, _ = bursty_system(
+                idle_threshold=threshold)
+            system.run(us(50))
+            return controller.gated_cycles
+
+        assert gated_cycles(2) > gated_cycles(16)
+
+
+class TestGatedEnergy:
+    def test_gating_saves_clock_energy(self):
+        gated_sys, _, gated_mon = bursty_system(gate=True)
+        gated_sys.run(us(50))
+        plain_sys, _, plain_mon = bursty_system(gate=False)
+        plain_sys.run(us(50))
+        assert gated_mon.ledger.block_energy["CLK"] < \
+            plain_mon.ledger.block_energy["CLK"]
+        # data-path energy is unaffected by gating
+        assert gated_mon.ledger.block_energy["M2S"] == pytest.approx(
+            plain_mon.ledger.block_energy["M2S"])
+
+    def test_clock_tree_off_by_default(self):
+        from repro.workloads import build_paper_testbench
+        tb = build_paper_testbench(seed=1)
+        tb.run(us(5))
+        assert "CLK" not in tb.ledger.block_energy
+
+    def test_gate_without_tree_rejected(self):
+        with pytest.raises(ValueError):
+            bursty_system(gate=True, clock_tree=False)
+
+    def test_conservation_with_clk_block(self):
+        system, _, monitor = bursty_system()
+        system.run(us(20))
+        monitor.ledger.check_conservation()
+
+
+class TestWhatIfEvaluation:
+    def make_log(self):
+        system, controller, monitor = bursty_system(gate=False)
+        monitor.fsm.enable_logging()
+        system.run(us(50))
+        return monitor
+
+    def test_what_if_matches_policy_semantics(self):
+        monitor = self.make_log()
+        per_cycle = monitor._clock_tree_energy
+        evaluation = evaluate_gating_policy(
+            monitor.fsm.instruction_log, idle_threshold=4,
+            clock_tree_energy_per_cycle=per_cycle)
+        assert evaluation.gated_cycles > 0
+        assert 0.0 < evaluation.savings_fraction < 1.0
+        assert evaluation.total_cycles == 5000
+
+    def test_savings_decrease_with_threshold(self):
+        monitor = self.make_log()
+        per_cycle = monitor._clock_tree_energy
+        fractions = [
+            evaluate_gating_policy(
+                monitor.fsm.instruction_log, idle_threshold=threshold,
+                clock_tree_energy_per_cycle=per_cycle).savings_fraction
+            for threshold in (1, 8, 64)
+        ]
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    def test_wake_penalty_reduces_savings(self):
+        monitor = self.make_log()
+        per_cycle = monitor._clock_tree_energy
+        cheap = evaluate_gating_policy(
+            monitor.fsm.instruction_log, 4, per_cycle,
+            wake_penalty_factor=0.0)
+        costly = evaluate_gating_policy(
+            monitor.fsm.instruction_log, 4, per_cycle,
+            wake_penalty_factor=10.0)
+        assert cheap.savings > costly.savings
+
+    def test_repr(self):
+        monitor = self.make_log()
+        evaluation = evaluate_gating_policy(
+            monitor.fsm.instruction_log, 4,
+            monitor._clock_tree_energy)
+        assert "GatingEvaluation" in repr(evaluation)

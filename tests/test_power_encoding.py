@@ -1,0 +1,158 @@
+"""Low-power bus encoding tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.encoding import (
+    BusInvertEncoder,
+    EncodingEvaluation,
+    GrayEncoder,
+    IdentityEncoder,
+    T0Encoder,
+    evaluate_encoding,
+    sequence_transitions,
+)
+from repro.power.hamming import hamming
+
+words32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestBusInvert:
+    def test_worst_case_bounded(self):
+        """Bus-invert caps per-transfer toggles at w/2 + 1."""
+        width = 16
+        encoder = BusInvertEncoder(width)
+        previous = encoder.encode(0)
+        for value in (0xFFFF, 0x0000, 0xFFFF, 0xAAAA, 0x5555):
+            pattern = encoder.encode(value)
+            toggles = hamming(previous, pattern, width=width + 1)
+            assert toggles <= width // 2 + 1
+            previous = pattern
+
+    def test_payload_recoverable(self):
+        """Decoding (xor with invert line) recovers the payload."""
+        width = 8
+        encoder = BusInvertEncoder(width)
+        rng = random.Random(1)
+        for _ in range(200):
+            value = rng.getrandbits(width)
+            pattern = encoder.encode(value)
+            invert = (pattern >> width) & 1
+            payload = pattern & ((1 << width) - 1)
+            decoded = payload ^ ((1 << width) - 1) if invert else payload
+            assert decoded == value
+
+    @given(st.lists(words32, min_size=2, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_never_more_transitions_than_half_plus_one(self, values):
+        width = 32
+        encoder = BusInvertEncoder(width)
+        previous = 0
+        for value in values:
+            pattern = encoder.encode(value)
+            assert hamming(previous, pattern, width=width + 1) \
+                <= width // 2 + 1
+            previous = pattern
+
+    def test_saves_on_antagonistic_traffic(self):
+        """Alternating all-zeros / all-ones: the classic win."""
+        values = [0x0, 0xFFFFFFFF] * 50
+        result = evaluate_encoding(values, 32, BusInvertEncoder(32))
+        assert result.transition_savings > 0.9
+        assert result.energy_savings > 0.8
+
+    def test_random_traffic_roughly_neutral_or_better(self):
+        rng = random.Random(7)
+        values = [rng.getrandbits(32) for _ in range(500)]
+        result = evaluate_encoding(values, 32, BusInvertEncoder(32))
+        assert result.transition_savings > -0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusInvertEncoder(0)
+
+
+class TestGray:
+    def test_sequential_addresses_toggle_once(self):
+        encoder = GrayEncoder()
+        previous = encoder.encode(0)
+        for value in range(1, 64):
+            pattern = encoder.encode(value)
+            assert hamming(previous, pattern) == 1
+            previous = pattern
+
+    def test_gray_is_a_bijection(self):
+        encoder = GrayEncoder()
+        patterns = {encoder.encode(value) for value in range(256)}
+        assert len(patterns) == 256
+
+    def test_saves_on_counting_traffic(self):
+        # Gray coding is applied to the word-index lines (stride-1
+        # counting); byte strides would break the one-toggle property.
+        values = list(range(200))
+        result = evaluate_encoding(values, 16, GrayEncoder())
+        assert result.transition_savings > 0.3
+
+
+class TestT0:
+    def test_stream_freezes_bus(self):
+        encoder = T0Encoder(16, stride=4)
+        first = encoder.encode(0x100)
+        stream = [encoder.encode(0x100 + 4 * k) for k in range(1, 10)]
+        payload_mask = (1 << 16) - 1
+        assert all((p & payload_mask) == (first & payload_mask)
+                   for p in stream)
+        assert all(p >> 16 == 1 for p in stream)  # INC asserted
+
+    def test_jump_updates_bus(self):
+        encoder = T0Encoder(16, stride=4)
+        encoder.encode(0x100)
+        jump = encoder.encode(0x800)
+        assert jump & ((1 << 16) - 1) == 0x800
+        assert jump >> 16 == 0
+
+    def test_saves_on_sequential_bursts(self):
+        values = []
+        for base in (0x100, 0x400, 0x900):
+            values.extend(base + 4 * k for k in range(16))
+        result = evaluate_encoding(values, 16, T0Encoder(16, stride=4))
+        assert result.transition_savings > 0.5
+
+    def test_reset(self):
+        encoder = T0Encoder(16)
+        encoder.encode(0x10)
+        encoder.reset()
+        pattern = encoder.encode(0x14)
+        assert pattern >> 16 == 0  # no INC right after reset
+
+
+class TestEvaluation:
+    def test_identity_is_exact_baseline(self):
+        rng = random.Random(3)
+        values = [rng.getrandbits(16) for _ in range(100)]
+        result = evaluate_encoding(values, 16, IdentityEncoder())
+        assert result.transition_savings == pytest.approx(0.0)
+        assert result.energy_savings == pytest.approx(0.0)
+
+    def test_sequence_transitions_helper(self):
+        assert sequence_transitions([0, 1, 3], 8) == 1 + 1
+
+    def test_empty_sequence(self):
+        result = evaluate_encoding([], 8, GrayEncoder())
+        assert result.words == 0
+        assert result.transition_savings == 0.0
+
+    def test_repr(self):
+        result = EncodingEvaluation("x", 8, 10, 5, 2.0, 1.0, 4)
+        assert "x" in repr(result)
+
+    @given(st.lists(words32, min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_never_negative(self, values):
+        for encoder in (IdentityEncoder(), BusInvertEncoder(32),
+                        GrayEncoder(), T0Encoder(32)):
+            result = evaluate_encoding(values, 32, encoder)
+            assert result.baseline_energy >= 0
+            assert result.encoded_energy >= 0

@@ -1,0 +1,66 @@
+"""Power FSM transition/classification tests."""
+
+import pytest
+
+from repro.power import BusMode, EnergyLedger, PowerFsm
+from repro.power.power_trace import TraceSet
+
+
+class TestStepping:
+    def test_sequence_classification(self):
+        fsm = PowerFsm()
+        modes = [BusMode.WRITE, BusMode.READ, BusMode.IDLE_HO,
+                 BusMode.IDLE_HO, BusMode.WRITE]
+        names = [fsm.step(i * 10_000, mode, {"M2S": 1e-12})
+                 for i, mode in enumerate(modes)]
+        assert names == ["IDLE_WRITE", "WRITE_READ", "READ_IDLE_HO",
+                         "IDLE_HO_IDLE_HO", "IDLE_HO_WRITE"]
+
+    def test_initial_state_is_idle(self):
+        fsm = PowerFsm()
+        assert fsm.state == BusMode.IDLE
+
+    def test_ledger_charged(self):
+        ledger = EnergyLedger()
+        fsm = PowerFsm(ledger)
+        fsm.step(0, BusMode.WRITE, {"M2S": 2e-12, "ARB": 1e-12})
+        assert ledger.total_energy == pytest.approx(3e-12)
+        assert ledger.instruction_stats("IDLE_WRITE").count == 1
+
+    def test_traces_record_blocks_and_total(self):
+        traces = TraceSet(("M2S", "TOTAL"))
+        fsm = PowerFsm(traces=traces)
+        fsm.step(1000, BusMode.WRITE, {"M2S": 2e-12})
+        assert traces["M2S"].total_energy == pytest.approx(2e-12)
+        assert traces["TOTAL"].total_energy == pytest.approx(2e-12)
+
+    def test_datafile_output(self, tmp_path):
+        path = tmp_path / "power.dat"
+        with open(path, "w") as fh:
+            fsm = PowerFsm(datafile=fh)
+            fsm.step(10_000, BusMode.READ, {"M2S": 1e-12})
+            fsm.step(20_000, BusMode.WRITE, {"M2S": 1e-12})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert "IDLE_READ" in lines[0]
+        assert "READ_WRITE" in lines[1]
+
+    def test_instruction_log(self):
+        fsm = PowerFsm()
+        fsm.enable_logging()
+        fsm.step(0, BusMode.WRITE, {"X": 1e-12})
+        assert fsm.instruction_log == [(0, "IDLE_WRITE",
+                                        pytest.approx(1e-12))]
+
+    def test_reset_preserves_ledger(self):
+        fsm = PowerFsm()
+        fsm.step(0, BusMode.WRITE, {"X": 1e-12})
+        fsm.reset()
+        assert fsm.state == BusMode.IDLE
+        assert fsm.ledger.total_energy == pytest.approx(1e-12)
+
+    def test_cycle_counter(self):
+        fsm = PowerFsm()
+        for i in range(5):
+            fsm.step(i, BusMode.IDLE, {})
+        assert fsm.cycles == 5

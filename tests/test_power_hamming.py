@@ -1,0 +1,95 @@
+"""Property and unit tests for Hamming/activity metrics."""
+
+from hypothesis import given, strategies as st
+
+from repro.power import (
+    expected_hamming_uniform,
+    hamming,
+    hamming_sequence,
+    signal_probability,
+    total_transitions,
+    transition_density,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestHamming:
+    def test_basic(self):
+        assert hamming(0b1010, 0b0110) == 2
+        assert hamming(0, 0) == 0
+        assert hamming(0, 0xFF) == 8
+
+    def test_width_masking(self):
+        assert hamming(0x100, 0x000, width=8) == 0
+        assert hamming(0x1FF, 0x000, width=8) == 8
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert hamming(a, b) == hamming(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert hamming(a, a) == 0
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+    @given(words, words)
+    def test_bounded_by_width(self, a, b):
+        assert hamming(a, b, width=32) <= 32
+
+    @given(words, words, words)
+    def test_xor_invariance(self, a, b, mask):
+        assert hamming(a, b) == hamming(a ^ mask, b ^ mask)
+
+
+class TestSequences:
+    def test_hamming_sequence(self):
+        assert hamming_sequence([0, 1, 3, 3]) == [1, 1, 0]
+
+    def test_total_transitions(self):
+        assert total_transitions([0, 1, 3, 3]) == 2
+
+    def test_empty_and_singleton(self):
+        assert hamming_sequence([]) == []
+        assert hamming_sequence([5]) == []
+        assert total_transitions([5]) == 0
+
+    @given(st.lists(words, min_size=2, max_size=50))
+    def test_total_matches_sum(self, values):
+        assert total_transitions(values) == sum(hamming_sequence(values))
+
+    @given(st.lists(words, min_size=2, max_size=50))
+    def test_density_in_unit_interval(self, values):
+        density = transition_density(values, 32)
+        assert 0.0 <= density <= 1.0
+
+    def test_density_degenerate(self):
+        assert transition_density([], 8) == 0.0
+        assert transition_density([1], 8) == 0.0
+        assert transition_density([1, 2], 0) == 0.0
+
+
+class TestSignalProbability:
+    def test_all_ones(self):
+        assert signal_probability([0xF, 0xF], 4) == [1.0] * 4
+
+    def test_half(self):
+        probs = signal_probability([0b01, 0b10], 2)
+        assert probs == [0.5, 0.5]
+
+    def test_empty(self):
+        assert signal_probability([], 3) == [0.0, 0.0, 0.0]
+
+    @given(st.lists(words, min_size=1, max_size=40))
+    def test_probabilities_bounded(self, values):
+        for p in signal_probability(values, 32):
+            assert 0.0 <= p <= 1.0
+
+
+class TestExpectedHamming:
+    def test_uniform(self):
+        assert expected_hamming_uniform(32) == 16.0
+        assert expected_hamming_uniform(0) == 0.0

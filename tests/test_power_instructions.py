@@ -1,0 +1,84 @@
+"""Instruction-set tests (behavioural decomposition)."""
+
+from repro.amba.types import HTRANS
+from repro.power import (
+    ALL_INSTRUCTIONS,
+    ARBITRATION_INSTRUCTIONS,
+    DATA_TRANSFER_INSTRUCTIONS,
+    PAPER_FSM_INSTRUCTIONS,
+    TABLE1_INSTRUCTIONS,
+    BusMode,
+    classify_mode,
+    instruction_name,
+    is_arbitration,
+    is_data_transfer,
+)
+
+
+class TestClassifyMode:
+    def test_write(self):
+        assert classify_mode(HTRANS.NONSEQ, 1, False) == BusMode.WRITE
+        assert classify_mode(HTRANS.SEQ, 1, True) == BusMode.WRITE
+
+    def test_read(self):
+        assert classify_mode(HTRANS.NONSEQ, 0, False) == BusMode.READ
+
+    def test_idle(self):
+        assert classify_mode(HTRANS.IDLE, 0, False) == BusMode.IDLE
+
+    def test_idle_handover(self):
+        assert classify_mode(HTRANS.IDLE, 0, True) == BusMode.IDLE_HO
+
+    def test_busy_folds_into_idle(self):
+        assert classify_mode(HTRANS.BUSY, 1, False) == BusMode.IDLE
+        assert classify_mode(HTRANS.BUSY, 0, True) == BusMode.IDLE_HO
+
+    def test_accepts_raw_ints(self):
+        assert classify_mode(2, 1, False) == BusMode.WRITE
+
+
+class TestInstructionNames:
+    def test_naming(self):
+        assert instruction_name(BusMode.WRITE, BusMode.READ) == \
+            "WRITE_READ"
+        assert instruction_name(BusMode.IDLE_HO, BusMode.IDLE_HO) == \
+            "IDLE_HO_IDLE_HO"
+
+    def test_alphabet_size(self):
+        assert len(ALL_INSTRUCTIONS) == 16
+        assert len(set(ALL_INSTRUCTIONS)) == 16
+
+    def test_paper_listing_is_subset(self):
+        assert set(PAPER_FSM_INSTRUCTIONS) <= set(ALL_INSTRUCTIONS)
+
+    def test_table1_rows_are_subset(self):
+        assert set(TABLE1_INSTRUCTIONS) <= set(PAPER_FSM_INSTRUCTIONS)
+
+
+class TestInstructionClasses:
+    def test_classes_are_disjoint(self):
+        assert not (set(DATA_TRANSFER_INSTRUCTIONS)
+                    & set(ARBITRATION_INSTRUCTIONS))
+
+    def test_transfer_examples(self):
+        assert is_data_transfer("WRITE_READ")
+        assert is_data_transfer("READ_WRITE")
+        assert is_data_transfer("IDLE_WRITE")
+        assert not is_data_transfer("IDLE_HO_WRITE")
+        assert not is_data_transfer("READ_IDLE")
+
+    def test_arbitration_examples(self):
+        assert is_arbitration("IDLE_HO_IDLE_HO")
+        assert is_arbitration("READ_IDLE_HO")
+        assert is_arbitration("IDLE_HO_WRITE")
+        assert not is_arbitration("WRITE_READ")
+        assert not is_arbitration("IDLE_IDLE")
+
+    def test_every_instruction_has_one_class_at_most(self):
+        for name in ALL_INSTRUCTIONS:
+            assert not (is_data_transfer(name) and is_arbitration(name))
+
+    def test_table1_rows_are_classified(self):
+        # every Table 1 row belongs to the transfer or arbitration class
+        for name in TABLE1_INSTRUCTIONS:
+            assert is_data_transfer(name) or is_arbitration(name)

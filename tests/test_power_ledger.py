@@ -1,0 +1,115 @@
+"""Energy ledger accounting tests (with conservation properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power import EnergyLedger, InstructionStats
+from repro.power.ledger import PAPER_BLOCKS
+
+
+class TestCharging:
+    def test_charge_cycle_returns_total(self):
+        ledger = EnergyLedger()
+        total = ledger.charge_cycle("WRITE_READ",
+                                    {"M2S": 1e-12, "ARB": 2e-12})
+        assert total == pytest.approx(3e-12)
+        assert ledger.cycles == 1
+
+    def test_unknown_block_added_on_the_fly(self):
+        ledger = EnergyLedger()
+        ledger.charge_cycle("X", {"BRIDGE": 5e-12})
+        assert ledger.block_energy["BRIDGE"] == pytest.approx(5e-12)
+
+    def test_negative_energy_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_cycle("X", {"M2S": -1e-12})
+
+    def test_instruction_stats_accumulate(self):
+        ledger = EnergyLedger()
+        ledger.charge_cycle("A", {"M2S": 1e-12})
+        ledger.charge_cycle("A", {"M2S": 3e-12})
+        stats = ledger.instruction_stats("A")
+        assert stats.count == 2
+        assert stats.energy == pytest.approx(4e-12)
+        assert stats.average_energy == pytest.approx(2e-12)
+
+    def test_unknown_instruction_stats_are_zero(self):
+        ledger = EnergyLedger()
+        stats = ledger.instruction_stats("NEVER")
+        assert stats.count == 0
+        assert stats.average_energy == 0.0
+
+
+class TestQueries:
+    def make_ledger(self):
+        ledger = EnergyLedger()
+        ledger.charge_cycle("WRITE_READ", {"M2S": 6e-12, "S2M": 2e-12})
+        ledger.charge_cycle("IDLE_HO_IDLE_HO", {"ARB": 2e-12})
+        return ledger
+
+    def test_block_share(self):
+        ledger = self.make_ledger()
+        assert ledger.block_share("M2S") == pytest.approx(0.6)
+        assert ledger.block_share("DEC") == 0.0
+
+    def test_instruction_share(self):
+        ledger = self.make_ledger()
+        assert ledger.instruction_share("WRITE_READ") == \
+            pytest.approx(0.8)
+
+    def test_class_share(self):
+        ledger = self.make_ledger()
+        assert ledger.class_share(lambda n: "IDLE_HO" in n) == \
+            pytest.approx(0.2)
+
+    def test_block_breakdown_sorted(self):
+        ledger = self.make_ledger()
+        breakdown = ledger.block_breakdown()
+        energies = [energy for energy, _ in breakdown.values()]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_average_power(self):
+        ledger = self.make_ledger()
+        assert ledger.average_power(1e-6) == pytest.approx(1e-5)
+        with pytest.raises(ValueError):
+            ledger.average_power(0)
+
+    def test_empty_ledger_shares_are_zero(self):
+        ledger = EnergyLedger()
+        assert ledger.block_share("M2S") == 0.0
+        assert ledger.instruction_share("X") == 0.0
+        assert ledger.class_share(lambda n: True) == 0.0
+
+
+energy_amounts = st.floats(min_value=0, max_value=1e-9,
+                           allow_nan=False, allow_infinity=False)
+block_names = st.sampled_from(PAPER_BLOCKS)
+instruction_names = st.sampled_from(
+    ["WRITE_READ", "READ_WRITE", "IDLE_IDLE", "IDLE_HO_WRITE"])
+
+
+class TestConservation:
+    @given(st.lists(
+        st.tuples(instruction_names,
+                  st.dictionaries(block_names, energy_amounts,
+                                  min_size=1, max_size=4)),
+        min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_blocks_and_instructions_conserve_total(self, cycles):
+        ledger = EnergyLedger()
+        for instruction, energies in cycles:
+            ledger.charge_cycle(instruction, energies)
+        assert ledger.check_conservation()
+        assert ledger.cycles == len(cycles)
+
+    def test_conservation_violation_detected(self):
+        ledger = EnergyLedger()
+        ledger.charge_cycle("A", {"M2S": 1e-12})
+        ledger.total_energy *= 2  # corrupt
+        with pytest.raises(AssertionError):
+            ledger.check_conservation()
+
+    def test_repr(self):
+        assert "EnergyLedger" in repr(EnergyLedger())
+        assert "InstructionStats" in repr(InstructionStats())

@@ -1,0 +1,120 @@
+"""Integration tests for the three power-model styles."""
+
+import pytest
+
+from repro.kernel import us
+from repro.power import BLOCK_ARB, BLOCK_M2S
+from repro.workloads import build_paper_testbench
+
+
+DURATION = us(10)
+
+
+class TestGlobalMonitor:
+    def test_energy_accumulates_and_conserves(self):
+        tb = build_paper_testbench(seed=5)
+        tb.run(DURATION)
+        tb.assert_protocol_clean()
+        assert tb.total_energy > 0
+        tb.ledger.check_conservation()
+
+    def test_cycle_count_matches_clock(self):
+        tb = build_paper_testbench(seed=5)
+        tb.run(DURATION)
+        assert tb.ledger.cycles == 1000  # 10 us at 100 MHz
+
+    def test_deterministic_across_runs(self):
+        def run():
+            tb = build_paper_testbench(seed=9)
+            tb.run(DURATION)
+            return tb.total_energy, tb.ledger.cycles
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            tb = build_paper_testbench(seed=seed)
+            tb.run(DURATION)
+            return tb.total_energy
+        assert run(1) != run(2)
+
+    def test_traces_optional(self):
+        tb = build_paper_testbench(seed=5)
+        tb.run(DURATION)
+        assert tb.monitor.traces is None
+        tb2 = build_paper_testbench(seed=5, with_traces=True)
+        tb2.run(DURATION)
+        assert tb2.monitor.traces is not None
+        assert tb2.monitor.traces["TOTAL"].total_energy == \
+            pytest.approx(tb2.total_energy)
+
+    def test_activity_summary_structure(self):
+        tb = build_paper_testbench(seed=5)
+        tb.run(DURATION)
+        summary = tb.monitor.activity_summary()
+        assert {"m2s_out", "s2m_out", "arb_in"} <= set(summary)
+
+    def test_datafile_written(self, tmp_path):
+        path = tmp_path / "energy.dat"
+        with open(path, "w") as fh:
+            tb = build_paper_testbench(seed=5, datafile=fh)
+            tb.run(DURATION)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1000
+
+
+class TestPowertestSwitch:
+    def test_power_analysis_off_builds_no_monitor(self):
+        tb = build_paper_testbench(seed=5, power_analysis=False)
+        tb.run(DURATION)
+        assert tb.monitor is None
+        assert tb.ledger is None
+        assert tb.total_energy == 0.0
+        # functional behaviour unaffected
+        assert tb.transactions_completed() > 0
+
+    def test_functional_results_identical_with_and_without_power(self):
+        with_power = build_paper_testbench(seed=7)
+        with_power.run(DURATION)
+        without = build_paper_testbench(seed=7, power_analysis=False)
+        without.run(DURATION)
+        assert with_power.transactions_completed() == \
+            without.transactions_completed()
+        assert with_power.bus.arbiter.handover_count == \
+            without.bus.arbiter.handover_count
+
+
+class TestLocalMonitor:
+    def test_local_style_close_to_global(self):
+        reference = build_paper_testbench(seed=5)
+        reference.run(DURATION)
+        table = {name: stats.average_energy
+                 for name, stats in reference.ledger.instructions.items()}
+        local = build_paper_testbench(seed=5, monitor_style="local",
+                                      instruction_energies=table)
+        local.run(DURATION)
+        # same seed, table from the same run: totals match closely
+        assert local.total_energy == pytest.approx(
+            reference.total_energy, rel=0.02)
+
+    def test_local_needs_table(self):
+        with pytest.raises(ValueError):
+            build_paper_testbench(seed=5, monitor_style="local")
+
+
+class TestPrivateMonitor:
+    def test_private_style_tracks_global(self):
+        reference = build_paper_testbench(seed=5)
+        reference.run(DURATION)
+        private = build_paper_testbench(seed=5, monitor_style="private")
+        private.run(DURATION)
+        assert private.total_energy > 0
+        assert private.total_energy == pytest.approx(
+            reference.total_energy, rel=0.40)
+        private.ledger.check_conservation()
+
+    def test_private_block_ranking_sensible(self):
+        tb = build_paper_testbench(seed=5, monitor_style="private")
+        tb.run(DURATION)
+        ledger = tb.ledger
+        assert ledger.block_energy[BLOCK_M2S] > \
+            ledger.block_energy[BLOCK_ARB]

@@ -1,0 +1,127 @@
+"""Statistical power estimation vs full simulation."""
+
+import pytest
+
+from repro.kernel import MHz, to_seconds, us
+from repro.power.statistical import (
+    PowerEstimate,
+    WorkloadStatistics,
+    estimate_average_power,
+)
+from repro.workloads import build_paper_testbench
+
+
+def calibrated_run(seed=1, duration_us=10):
+    tb = build_paper_testbench(seed=seed, checker=False)
+    tb.run(us(duration_us))
+    return tb
+
+
+class TestFromMonitor:
+    def test_statistics_extracted(self):
+        tb = calibrated_run()
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        assert stats.m2s_hd > 0
+        assert stats.s2m_hd > 0
+        assert 0 < stats.transfer_fraction <= 1
+        assert 0 <= stats.handover_rate < 1
+        assert 0 < stats.write_fraction < 1
+
+    def test_empty_monitor_rejected(self):
+        tb = build_paper_testbench(seed=1, checker=False)
+        with pytest.raises(ValueError):
+            WorkloadStatistics.from_monitor(tb.monitor)
+
+
+class TestEstimateAccuracy:
+    def test_estimate_matches_simulation_same_run(self):
+        """Linear models: the estimate from a run's own statistics
+        reproduces that run's measured average power almost exactly."""
+        tb = calibrated_run(seed=1, duration_us=50)
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        estimate = estimate_average_power(stats, tb.config, MHz(100))
+        measured = tb.ledger.average_power(to_seconds(tb.sim.now))
+        assert estimate.total_power == pytest.approx(measured, rel=0.02)
+
+    def test_short_calibration_predicts_long_run(self):
+        """A 5 us calibration predicts a 50 us run of a different seed
+        within a few percent (stationary workload)."""
+        calibration = calibrated_run(seed=2, duration_us=5)
+        stats = WorkloadStatistics.from_monitor(calibration.monitor)
+        estimate = estimate_average_power(stats, calibration.config,
+                                          MHz(100))
+        evaluation = calibrated_run(seed=1, duration_us=50)
+        measured = evaluation.ledger.average_power(
+            to_seconds(evaluation.sim.now))
+        assert estimate.total_power == pytest.approx(measured, rel=0.10)
+
+    def test_block_breakdown_matches(self):
+        tb = calibrated_run(seed=1, duration_us=50)
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        estimate = estimate_average_power(stats, tb.config, MHz(100))
+        elapsed = to_seconds(tb.sim.now)
+        for block in ("M2S", "S2M"):
+            measured = tb.ledger.block_energy[block] / elapsed
+            assert estimate.block_power[block] == pytest.approx(
+                measured, rel=0.05)
+
+
+class TestAnalyticStatistics:
+    def test_from_traffic_parameters(self):
+        stats = WorkloadStatistics.from_traffic_parameters(
+            transfer_fraction=0.9, write_fraction=0.5)
+        assert stats.m2s_hd > stats.s2m_hd  # writes + addresses > reads
+
+    def test_analytic_estimate_in_right_ballpark(self):
+        """First-principles knobs land within 2x of simulation — the
+        accuracy class the paper assigns to early estimation."""
+        tb = calibrated_run(seed=1, duration_us=50)
+        measured = tb.ledger.average_power(to_seconds(tb.sim.now))
+        led = tb.ledger
+        transfer_fraction = tb.monitor.transfer_cycles / led.cycles
+        stats = WorkloadStatistics.from_traffic_parameters(
+            transfer_fraction=transfer_fraction, write_fraction=0.5,
+            handover_rate=tb.monitor.handover_total / led.cycles)
+        estimate = estimate_average_power(stats, tb.config, MHz(100))
+        assert measured / 2 < estimate.total_power < measured * 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadStatistics.from_traffic_parameters(
+                transfer_fraction=1.5, write_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadStatistics(m2s_hd=-1, s2m_hd=0, request_hd=0,
+                               decode_hd=0, decode_change_rate=0,
+                               dsel_hd=0, handover_rate=0)
+
+
+class TestScaling:
+    def test_power_scales_with_utilisation(self):
+        tb = calibrated_run()
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        base = estimate_average_power(stats, tb.config, MHz(100))
+        half = estimate_average_power(stats.scaled_utilisation(0.5),
+                                      tb.config, MHz(100))
+        # dynamic part halves; the arbiter clock floor stays
+        assert half.total_power < base.total_power
+        assert half.total_power > 0.45 * base.total_power
+
+    def test_power_scales_linearly_with_frequency(self):
+        tb = calibrated_run()
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        at_100 = estimate_average_power(stats, tb.config, MHz(100))
+        at_200 = estimate_average_power(stats, tb.config, MHz(200))
+        assert at_200.total_power == pytest.approx(
+            2 * at_100.total_power)
+        assert at_200.energy_per_cycle() == pytest.approx(
+            at_100.energy_per_cycle())
+
+    def test_negative_scale_rejected(self):
+        tb = calibrated_run()
+        stats = WorkloadStatistics.from_monitor(tb.monitor)
+        with pytest.raises(ValueError):
+            stats.scaled_utilisation(-1)
+
+    def test_repr(self):
+        estimate = PowerEstimate({"M2S": 1e-3}, MHz(100))
+        assert "mW" in repr(estimate)

@@ -1,0 +1,111 @@
+"""Power trace windowing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power import PowerTrace, TraceSet
+
+
+class TestRecording:
+    def test_record_and_total(self):
+        trace = PowerTrace("T")
+        trace.record(1000, 1e-12)
+        trace.record(2000, 2e-12)
+        assert len(trace) == 2
+        assert trace.total_energy == pytest.approx(3e-12)
+
+    def test_negative_energy_rejected(self):
+        trace = PowerTrace("T")
+        with pytest.raises(ValueError):
+            trace.record(0, -1e-12)
+
+
+class TestWindowing:
+    def test_single_window_power(self):
+        trace = PowerTrace("T")
+        trace.record(500, 1e-12)  # 1 pJ in a 1 ns window = 1 mW
+        centers, power = trace.windowed(1000, t_end=1000)
+        assert len(power) == 1
+        assert power[0] == pytest.approx(1e-3)
+
+    def test_empty_windows_are_zero(self):
+        trace = PowerTrace("T")
+        trace.record(100, 1e-12)
+        trace.record(2100, 1e-12)
+        _, power = trace.windowed(1000, t_end=3000)
+        assert len(power) == 3
+        assert power[1] == 0.0
+
+    def test_window_energy_sums_to_total(self):
+        trace = PowerTrace("T")
+        for t in range(0, 10_000, 130):
+            trace.record(t, 2e-13)
+        window = 1000
+        _, power = trace.windowed(window, t_end=10_000)
+        reconstructed = float(power.sum()) * (window * 1e-12)
+        assert reconstructed == pytest.approx(trace.total_energy)
+
+    @given(st.lists(st.tuples(st.integers(0, 99_999),
+                              st.floats(0, 1e-12)),
+                    min_size=1, max_size=100),
+           st.sampled_from([100, 1000, 7000]))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_conserved_for_any_window(self, events, window):
+        trace = PowerTrace("T")
+        for t, e in sorted(events):
+            trace.record(t, e)
+        _, power = trace.windowed(window, t_end=100_000)
+        reconstructed = float(power.sum()) * (window * 1e-12)
+        assert reconstructed == pytest.approx(trace.total_energy,
+                                              rel=1e-9, abs=1e-24)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace("T").windowed(0)
+
+
+class TestDerivedMetrics:
+    def test_energy_between(self):
+        trace = PowerTrace("T")
+        trace.record(100, 1e-12)
+        trace.record(900, 1e-12)
+        trace.record(1500, 5e-12)
+        assert trace.energy_between(0, 1000) == pytest.approx(2e-12)
+
+    def test_mean_and_peak_power(self):
+        trace = PowerTrace("T")
+        trace.record(0, 1e-12)
+        trace.record(1_000_000, 1e-12)
+        assert trace.mean_power() == pytest.approx(2e-12 / 1e-6)
+        assert trace.peak_power(100_000) > 0
+
+    def test_degenerate_traces(self):
+        empty = PowerTrace("T")
+        assert empty.mean_power() == 0.0
+        assert empty.energy_between(0, 100) == 0.0
+        single = PowerTrace("T")
+        single.record(10, 1e-12)
+        assert single.mean_power() == 0.0
+
+    def test_to_csv(self, tmp_path):
+        trace = PowerTrace("T")
+        trace.record(500, 1e-12)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(str(path), 1000)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time_s,power_w"
+        assert len(lines) >= 2
+
+
+class TestTraceSet:
+    def test_record_many(self):
+        traces = TraceSet(("A", "B"))
+        traces.record(100, {"A": 1e-12, "B": 2e-12})
+        assert traces["A"].total_energy == pytest.approx(1e-12)
+        assert traces["B"].total_energy == pytest.approx(2e-12)
+
+    def test_new_names_created_on_demand(self):
+        traces = TraceSet(("A",))
+        traces.record(0, {"NEW": 1e-12})
+        assert "NEW" in traces.names()

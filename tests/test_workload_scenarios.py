@@ -1,0 +1,65 @@
+"""Named SoC scenario tests."""
+
+import pytest
+
+from repro.kernel import us
+from repro.workloads import SCENARIOS, build_scenario
+
+
+class TestScenarioRegistry:
+    def test_all_scenarios_listed(self):
+        assert set(SCENARIOS) == {
+            "portable-audio-player", "wireless-modem",
+            "portable-videogame",
+        }
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            build_scenario("toaster")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestScenarioRuns:
+    def test_runs_clean_with_power(self, name):
+        system = build_scenario(name, seed=3)
+        system.run(us(20))
+        system.assert_protocol_clean()
+        assert system.transactions_completed() > 20
+        assert system.total_energy > 0
+        system.ledger.check_conservation()
+
+    def test_deterministic(self, name):
+        def run():
+            system = build_scenario(name, seed=3, checker=False)
+            system.run(us(10))
+            return (system.total_energy,
+                    system.transactions_completed())
+        assert run() == run()
+
+    def test_data_integrity(self, name):
+        system = build_scenario(name, seed=3, checker=False)
+        system.run(us(20))
+        for master in system.masters:
+            for txn in master.completed:
+                assert not txn.error
+                if not txn.write:
+                    assert len(txn.rdata) == txn.beats
+
+
+class TestScenarioCharacter:
+    def test_videogame_has_three_masters(self):
+        system = build_scenario("portable-videogame", seed=1)
+        assert len(system.masters) == 3
+
+    def test_modem_uses_round_robin_and_wait_states(self):
+        system = build_scenario("wireless-modem", seed=1)
+        assert system.config.arbitration == "round-robin"
+        assert system.slaves[1].wait_states == 1
+
+    def test_scenarios_differ_in_power_profile(self):
+        profiles = {}
+        for name in SCENARIOS:
+            system = build_scenario(name, seed=3, checker=False)
+            system.run(us(20))
+            profiles[name] = system.total_energy
+        assert len(set(profiles.values())) == len(profiles)
