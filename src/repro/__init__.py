@@ -21,6 +21,9 @@ Subpackages
     Traffic patterns and the paper's 2-master/3-slave testbench.
 ``repro.analysis``
     Tables, ASCII plots and one experiment runner per paper artefact.
+``repro.faults``
+    Fault injection (signal-level and behavioural), the bus watchdog's
+    campaign driver, and resilience/energy-overhead reporting.
 """
 
 __version__ = "1.0.0"
@@ -31,10 +34,12 @@ from .amba import (  # noqa: E402
     AhbMaster,
     AhbProtocolChecker,
     AhbTransaction,
+    AhbWatchdog,
     Arbitration,
     DefaultMaster,
     MemorySlave,
 )
+from .faults import FaultInjector, run_fault_campaign  # noqa: E402
 from .kernel import Clock, MHz, Module, Signal, Simulator, ns, us  # noqa: E402
 from .power import (  # noqa: E402
     Activity,
@@ -59,12 +64,14 @@ __all__ = [
     "AhbProtocolChecker",
     "AhbSystem",
     "AhbTransaction",
+    "AhbWatchdog",
     "ArbiterEnergyModel",
     "Arbitration",
     "Clock",
     "DecoderEnergyModel",
     "DefaultMaster",
     "EnergyLedger",
+    "FaultInjector",
     "GlobalPowerMonitor",
     "LocalPowerMonitor",
     "MHz",
@@ -79,5 +86,6 @@ __all__ = [
     "TechnologyParameters",
     "build_paper_testbench",
     "ns",
+    "run_fault_campaign",
     "us",
 ]

@@ -22,6 +22,7 @@ from .slave import (
     SplitCapableSlave,
 )
 from .transactions import AhbTransaction, Beat
+from .watchdog import AhbWatchdog, WatchdogEvent
 from .types import (
     HBURST,
     HRESP,
@@ -46,6 +47,7 @@ __all__ = [
     "AhbSlaveBase",
     "AhbToAhbBridge",
     "AhbTransaction",
+    "AhbWatchdog",
     "ApbBridge",
     "ApbRegisterSlave",
     "Arbiter",
@@ -66,6 +68,7 @@ __all__ = [
     "SlaveToMasterMux",
     "SplitCapableSlave",
     "TrafficSource",
+    "WatchdogEvent",
     "aligned",
     "burst_addresses",
     "burst_beats",

@@ -98,6 +98,8 @@ class Arbiter(Module):
         self.handover_count = 0
         self.grant_change_count = 0
         self.split_count = 0
+        self.forced_split_releases = 0
+        self._forced_release = 0
 
         sensitivity = [port.hbusreq for port in self.master_ports]
         sensitivity += [port.hlock for port in self.master_ports]
@@ -128,7 +130,8 @@ class Arbiter(Module):
         split.
         """
         mask = self.split_mask.value
-        release = 0
+        release = self._forced_release
+        self._forced_release = 0
         for hsplit in self.split_inputs:
             release |= hsplit.value
         if release:
@@ -230,6 +233,16 @@ class Arbiter(Module):
             and self._beats_done >= self._expected_beats
         )
         self.at_boundary.write(1 if boundary else 0)
+
+    def release_split(self, master_index):
+        """Forcibly clear *master_index* from the split mask.
+
+        Watchdog recovery for a slave that never raises ``HSPLITx``:
+        the master rejoins arbitration on the next mask update even
+        though the slave never released it.
+        """
+        self._forced_release |= 1 << master_index
+        self.forced_split_releases += 1
 
     # -- introspection --------------------------------------------------------
 

@@ -54,14 +54,27 @@ class AhbMaster(Module):
         ``HREADY``/``HRESP``/``HRDATA`` signals).
     source:
         Optional :class:`TrafficSource` pulled when the queue is empty.
+    retry_limit:
+        Maximum RETRY/SPLIT re-issues tolerated per transaction.
+        ``None`` (default) preserves the spec behaviour of retrying
+        forever — which livelocks against a slave that always answers
+        RETRY.  With a limit, the transaction completes with
+        ``error=True`` and an ``abort_reason`` once the budget is
+        spent, so workloads degrade instead of hanging.
+    retry_backoff:
+        Idle cycles inserted (bus released) before re-issuing a beat
+        that got a RETRY/SPLIT response; 0 re-issues immediately.
     """
 
-    def __init__(self, sim, name, clk, port, bus, source=None, parent=None):
+    def __init__(self, sim, name, clk, port, bus, source=None,
+                 retry_limit=None, retry_backoff=0, parent=None):
         super().__init__(sim, name, parent=parent)
         self.clk = clk
         self.port = port
         self.bus = bus
         self.source = source
+        self.retry_limit = retry_limit
+        self.retry_backoff = int(retry_backoff)
 
         self._queue = deque()
         self._current = None
@@ -80,6 +93,9 @@ class AhbMaster(Module):
         self.wait_cycles = 0
         self.busy_cycles = 0
         self.idle_owned_cycles = 0
+        self.retries_seen = 0
+        self.aborted_transactions = 0
+        self.backoff_cycles = 0
 
         self.method(self._on_clk, [clk.posedge], name="fsm",
                     initialize=False)
@@ -164,7 +180,20 @@ class AhbMaster(Module):
                 self._finish_transaction(txn)
         elif resp in (HRESP.RETRY, HRESP.SPLIT):
             txn.retries += 1
+            self.retries_seen += 1
+            if self.retry_limit is not None and \
+                    txn.retries > self.retry_limit:
+                self._abort_transaction(
+                    txn,
+                    "retry budget exhausted (%d retries > limit %d)"
+                    % (txn.retries, self.retry_limit),
+                )
+                return
             self._rewind_to(beat)
+            if self.retry_backoff:
+                self._idle_countdown = max(self._idle_countdown,
+                                           self.retry_backoff)
+                self.backoff_cycles += self.retry_backoff
         else:  # ERROR
             txn.error = True
             if self._current is txn:
@@ -179,6 +208,42 @@ class AhbMaster(Module):
         self.completed.append(txn)
         for callback in self.on_complete:
             callback(txn)
+
+    def _abort_transaction(self, txn, reason):
+        """Give up on *txn*: complete it as a failure and move on."""
+        if txn.done:
+            return
+        txn.error = True
+        txn.abort_reason = reason
+        if self._addr_beat is not None and self._addr_beat.txn is txn:
+            self._addr_beat = None
+        if self._data_beat is not None and self._data_beat.txn is txn:
+            self._data_beat = None
+        if self._current is txn:
+            self._current = None
+            self._beat_index = 0
+            self._busy_remaining = 0
+        self.aborted_transactions += 1
+        self._finish_transaction(txn)
+
+    def abort_current(self, reason="aborted"):
+        """Abort the transaction currently in flight (watchdog recovery).
+
+        Returns the aborted transaction, or ``None`` when the master
+        was idle.  The transaction completes with ``error=True`` and
+        ``abort_reason=reason``; queued transactions are unaffected.
+        """
+        txn = None
+        if self._data_beat is not None:
+            txn = self._data_beat.txn
+        elif self._addr_beat is not None:
+            txn = self._addr_beat.txn
+        elif self._current is not None:
+            txn = self._current
+        if txn is None or txn.done:
+            return None
+        self._abort_transaction(txn, reason)
+        return txn
 
     def _rewind_to(self, beat):
         """Roll the issue pointer back so *beat* is re-issued."""

@@ -86,13 +86,20 @@ class SlaveToMasterMux(Module):
         n_all = len(slave_ports) + 1
         self.dsel = self.signal("dsel", init=len(slave_ports), width=8)
         self.dactive = self.signal("dactive", init=0, width=1)
+        #: Forced-response override countdown (watchdog recovery): 2 =
+        #: first ERROR cycle (HREADY low), 1 = final ERROR cycle
+        #: (HREADY high), 0 = normal muxing.  Mirrors the default
+        #: slave's two-cycle ERROR so a hung slave can be cut off
+        #: without violating the response protocol.
+        self.force_resp = self.signal("force_resp", init=0, width=2)
+        self.forced_errors = 0
 
         response_inputs = []
         for port in list(self.slave_ports) + [default_port]:
             response_inputs.extend(port.driven_signals())
         self.method(
             self._route_response,
-            response_inputs + [self.dsel, self.dactive],
+            response_inputs + [self.dsel, self.dactive, self.force_resp],
             name="route_response",
         )
         self.method(self._advance_data_phase, [clk.posedge],
@@ -103,6 +110,11 @@ class SlaveToMasterMux(Module):
         return list(self.slave_ports) + [self.default_port]
 
     def _route_response(self):
+        force = self.force_resp.value
+        if force:
+            self.bus.hready.write(0 if force > 1 else 1)
+            self.bus.hresp.write(int(HRESP.ERROR))
+            return
         if self.dactive.value:
             port = self._all_ports()[self.dsel.value]
             self.bus.hready.write(port.hready_out.value)
@@ -112,8 +124,25 @@ class SlaveToMasterMux(Module):
             self.bus.hready.write(1)
             self.bus.hresp.write(int(HRESP.OKAY))
 
+    def force_error(self):
+        """Present a two-cycle ERROR response instead of the selected
+        slave's outputs (the default-slave path used by the watchdog to
+        cut a hung slave off the bus).  No-op while already forcing."""
+        if self.force_resp.value or self._force_pending:
+            return False
+        self._force_pending = True
+        self.force_resp.write(2)
+        self.forced_errors += 1
+        return True
+
+    _force_pending = False
+
     def _advance_data_phase(self):
         """Latch the decoder select when the address phase is accepted."""
+        force = self.force_resp.value
+        if force:
+            self._force_pending = False
+            self.force_resp.write(force - 1)
         if not self.bus.hready.value:
             return
         self.dsel.write(self.decoder_selected.value)

@@ -65,6 +65,7 @@ class AhbSlaveBase(Module):
         self.writes = 0
         self.error_responses = 0
         self.retry_responses = 0
+        self.split_responses = 0
         self.method(self._on_clk, [clk.posedge], name="fsm",
                     initialize=False)
 
@@ -123,13 +124,20 @@ class AhbSlaveBase(Module):
                 # Two-cycle response: one (or more) wait cycles showing
                 # the response with HREADY low, then the final cycle.
                 self._resp_cycles_left = max(1, self._waits_left)
-                if self._response == HRESP.ERROR:
-                    self.error_responses += 1
-                elif self._response in (HRESP.RETRY, HRESP.SPLIT):
-                    self.retry_responses += 1
+                self._count_response(self._response)
 
         # 3. Drive the data phase outputs for the coming cycle.
         self._drive_outputs()
+
+    def _count_response(self, response):
+        """Tally a non-OKAY response by kind (RETRY and SPLIT are
+        distinct protocol flows and are counted separately)."""
+        if response == HRESP.ERROR:
+            self.error_responses += 1
+        elif response == HRESP.RETRY:
+            self.retry_responses += 1
+        elif response == HRESP.SPLIT:
+            self.split_responses += 1
 
     def _finish_stall(self, response=HRESP.OKAY, rdata=None):
         """Complete a transfer begun with unknown duration.
@@ -160,10 +168,7 @@ class AhbSlaveBase(Module):
                 self._stall_rdata = rdata
             if response != HRESP.OKAY:
                 self._resp_cycles_left = 1
-                if response == HRESP.ERROR:
-                    self.error_responses += 1
-                elif response in (HRESP.RETRY, HRESP.SPLIT):
-                    self.retry_responses += 1
+                self._count_response(response)
         if self._response != HRESP.OKAY:
             port.hresp.write(int(self._response))
             if self._resp_cycles_left > 0:

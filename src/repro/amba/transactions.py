@@ -106,6 +106,10 @@ class AhbTransaction:
         self.responses = []
         self.retries = 0
         self.error = False
+        #: Why the master gave up on the transaction (retry budget
+        #: exhaustion, watchdog abort); ``None`` for normal completion
+        #: and plain slave ERROR responses.
+        self.abort_reason = None
         self.done = False
         self.issue_time = None
         self.complete_time = None

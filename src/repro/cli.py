@@ -7,6 +7,7 @@
     python -m repro.cli run fig5
     python -m repro.cli report --json results.json
     python -m repro.cli scenario wireless-modem --duration-us 50
+    python -m repro.cli faults --fault always-retry --fault hung-slave
 
 Every command prints human-readable tables; ``--json`` additionally
 writes machine-readable results.
@@ -89,6 +90,46 @@ def _cmd_scenario(args):
     return 0
 
 
+def _cmd_faults(args):
+    import json as _json
+
+    from .faults import FAULT_MODES, run_fault_campaign
+    from .workloads import SCENARIOS
+    if args.scenario is None:
+        args.scenario = ["portable-audio-player", "wireless-modem"]
+    if args.fault is None:
+        args.fault = ["always-retry", "hung-slave"]
+    for fault in args.fault:
+        if fault not in FAULT_MODES:
+            print("unknown fault mode %r (available: %s)"
+                  % (fault, ", ".join(sorted(FAULT_MODES))),
+                  file=sys.stderr)
+            return 2
+    for scenario in args.scenario:
+        if scenario not in SCENARIOS:
+            print("unknown scenario %r (available: %s)"
+                  % (scenario, ", ".join(sorted(SCENARIOS))),
+                  file=sys.stderr)
+            return 2
+    result = run_fault_campaign(
+        scenarios=tuple(args.scenario), faults=tuple(args.fault),
+        seed=args.seed, duration_us=args.duration_us,
+        slave_index=args.slave_index,
+        trigger_after=args.trigger_after,
+        retry_limit=args.retry_limit,
+        retry_backoff=args.retry_backoff,
+        hready_timeout=args.hready_timeout,
+        retry_budget=args.retry_budget,
+        recover=not args.no_recover,
+    )
+    print(result.summary().format())
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+    return 0 if result.ok else 1
+
+
 def build_parser():
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -122,6 +163,44 @@ def build_parser():
     scenario_parser.add_argument("--duration-us", type=float,
                                  default=50.0)
     scenario_parser.set_defaults(fn=_cmd_scenario)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run a fault-injection campaign over named scenarios")
+    faults_parser.add_argument(
+        "--scenario", action="append",
+        default=None, metavar="NAME",
+        help="scenario to attack (repeatable; default: "
+             "portable-audio-player and wireless-modem)")
+    faults_parser.add_argument(
+        "--fault", action="append", default=None, metavar="MODE",
+        help="fault mode to inject (repeatable; default: "
+             "always-retry and hung-slave)")
+    faults_parser.add_argument("--seed", type=int, default=1)
+    faults_parser.add_argument("--duration-us", type=float,
+                               default=20.0)
+    faults_parser.add_argument("--slave-index", type=int, default=0,
+                               help="which slave misbehaves")
+    faults_parser.add_argument("--trigger-after", type=int, default=16,
+                               help="healthy transfers before the "
+                                    "fault bites")
+    faults_parser.add_argument("--retry-limit", type=int, default=8,
+                               help="master per-transaction retry "
+                                    "budget")
+    faults_parser.add_argument("--retry-backoff", type=int, default=2,
+                               help="idle cycles after each RETRY")
+    faults_parser.add_argument("--hready-timeout", type=int,
+                               default=16,
+                               help="watchdog bus-stall window")
+    faults_parser.add_argument("--retry-budget", type=int, default=6,
+                               help="watchdog consecutive-RETRY "
+                                    "budget")
+    faults_parser.add_argument("--no-recover", action="store_true",
+                               help="detect only, take no recovery "
+                                    "action")
+    faults_parser.add_argument("--json",
+                               help="also write JSON results")
+    faults_parser.set_defaults(fn=_cmd_faults)
     return parser
 
 

@@ -1,0 +1,284 @@
+"""Fault-injection campaign runner.
+
+A campaign takes named SoC scenarios (from
+:mod:`repro.workloads.scenarios`), runs each one fault-free to obtain
+an energy/throughput baseline, then re-runs it under every requested
+behavioural fault mode with the resilience stack armed (bounded-retry
+masters plus a recovering :class:`~repro.amba.AhbWatchdog`).  Each run
+is classified by outcome and annotated with the *energy cost of the
+fault*: the ledger's non-OKAY response energy (direct retry/error cycle
+cost) and the change in energy-per-completed-transaction against the
+fault-free baseline — the system-level "price of resilience" that the
+paper's methodology makes measurable.
+
+Outcomes
+--------
+``completed``
+    No failed transactions and no watchdog events: the fault never
+    bit (or the mode was a no-op for this workload).
+``recovered``
+    The watchdog detected a hazard and its recovery action succeeded;
+    the workload kept making progress afterwards.
+``degraded``
+    Transactions failed (bus errors / exhausted retry budgets) but the
+    system needed no watchdog rescue and kept running.
+``hung``
+    A hazard was detected (or the bus ended the run stalled) and no
+    recovery succeeded — what a system without the watchdog would be
+    left with.
+``crashed``
+    The simulator raised; the exception text is captured in the result
+    instead of propagating out of the campaign.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import TextTable, format_energy
+from ..kernel import us
+from ..workloads.scenarios import build_scenario
+from .modes import AlwaysRetrySlave, HangSlave, UnreleasedSplitSlave
+
+#: Behavioural fault modes a campaign can inject, name → slave class.
+#: Every class accepts ``trigger_after`` plus the stock
+#: :class:`~repro.amba.MemorySlave` keyword arguments.
+FAULT_MODES = {
+    "always-retry": AlwaysRetrySlave,
+    "hung-slave": HangSlave,
+    "unreleased-split": UnreleasedSplitSlave,
+}
+
+
+def fault_slave_factory(mode, trigger_after=0):
+    """A ``slave_overrides`` factory injecting fault *mode*.
+
+    Returns a callable with the :class:`~repro.workloads.AhbSystem`
+    override signature that builds the misbehaving slave.
+    """
+    try:
+        cls = FAULT_MODES[mode]
+    except KeyError:
+        raise KeyError(
+            "unknown fault mode %r (available: %s)"
+            % (mode, ", ".join(sorted(FAULT_MODES)))
+        ) from None
+
+    def factory(sim, name, clk, port, bus, **kwargs):
+        return cls(sim, name, clk, port, bus,
+                   trigger_after=trigger_after, **kwargs)
+
+    return factory
+
+
+class FaultRunResult:
+    """Outcome and metrics of one (scenario, fault mode) run."""
+
+    def __init__(self, scenario, fault, outcome, completed=0, failed=0,
+                 aborted=0, watchdog_events=0, recoveries=0,
+                 violations=0, total_energy=0.0, overhead_energy=0.0,
+                 energy_per_txn=0.0, baseline_energy_per_txn=0.0,
+                 detail=""):
+        self.scenario = scenario
+        self.fault = fault
+        self.outcome = outcome
+        self.completed = completed
+        self.failed = failed
+        self.aborted = aborted
+        self.watchdog_events = watchdog_events
+        self.recoveries = recoveries
+        self.violations = violations
+        self.total_energy = total_energy
+        self.overhead_energy = overhead_energy
+        self.energy_per_txn = energy_per_txn
+        self.baseline_energy_per_txn = baseline_energy_per_txn
+        self.detail = detail
+
+    @property
+    def energy_overhead_ratio(self):
+        """Relative growth of energy per completed transaction."""
+        if self.baseline_energy_per_txn <= 0:
+            return 0.0
+        return (self.energy_per_txn / self.baseline_energy_per_txn) - 1.0
+
+    def to_dict(self):
+        return {
+            "scenario": self.scenario,
+            "fault": self.fault,
+            "outcome": self.outcome,
+            "completed": self.completed,
+            "failed": self.failed,
+            "aborted": self.aborted,
+            "watchdog_events": self.watchdog_events,
+            "recoveries": self.recoveries,
+            "violations": self.violations,
+            "total_energy_j": self.total_energy,
+            "overhead_energy_j": self.overhead_energy,
+            "energy_per_txn_j": self.energy_per_txn,
+            "baseline_energy_per_txn_j": self.baseline_energy_per_txn,
+            "energy_overhead_ratio": self.energy_overhead_ratio,
+            "detail": self.detail,
+        }
+
+    def __repr__(self):
+        return "FaultRunResult(%s/%s: %s)" % (
+            self.scenario, self.fault, self.outcome,
+        )
+
+
+class CampaignResult:
+    """All runs of one campaign, with a renderable report."""
+
+    def __init__(self, runs, duration_us):
+        self.runs = list(runs)
+        self.duration_us = duration_us
+
+    @property
+    def ok(self):
+        """True when every faulted run ended contained (no hang or
+        crash escaped the resilience stack)."""
+        return all(run.outcome in ("completed", "recovered", "degraded")
+                   for run in self.runs)
+
+    def summary(self):
+        """Human-readable campaign report table."""
+        table = TextTable([
+            "Scenario", "Fault", "Outcome", "OK txns", "Failed",
+            "WD events", "Recoveries", "Fault-cycle energy",
+            "Energy/txn vs baseline",
+        ])
+        for run in self.runs:
+            table.add_row([
+                run.scenario,
+                run.fault,
+                run.outcome,
+                run.completed - run.failed,
+                run.failed,
+                run.watchdog_events,
+                run.recoveries,
+                format_energy(run.overhead_energy),
+                "%+.1f %%" % (100.0 * run.energy_overhead_ratio),
+            ])
+        return table
+
+    def to_dict(self):
+        return {
+            "duration_us": self.duration_us,
+            "ok": self.ok,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+
+def _classify(system, error_text):
+    """Map a finished (or dead) system to a campaign outcome."""
+    if error_text is not None:
+        return "crashed"
+    watchdog = system.watchdog
+    failed = system.transactions_failed()
+    events = len(watchdog.events) if watchdog is not None else 0
+    recoveries = watchdog.recoveries if watchdog is not None else 0
+    if events:
+        # A momentary HREADY-low end-of-run snapshot is normal (the
+        # middle of a two-cycle response); the reliable hang signal is
+        # the watchdog detecting hazards it could not recover from.
+        return "recovered" if recoveries else "hung"
+    if failed:
+        return "degraded"
+    return "completed"
+
+
+def _run_one(scenario, fault, seed, duration_us, slave_index,
+             trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
+             baseline_energy_per_txn):
+    overrides = None
+    if fault != "none":
+        overrides = {slave_index: fault_slave_factory(fault,
+                                                      trigger_after)}
+    system = build_scenario(
+        scenario, seed=seed,
+        retry_limit=retry_limit, retry_backoff=retry_backoff,
+        slave_overrides=overrides,
+        watchdog=True, watchdog_kwargs=watchdog_kwargs,
+    )
+    error_text = None
+    try:
+        system.run(us(duration_us))
+    except Exception as exc:  # contain — the report is the product
+        error_text = "%s: %s" % (type(exc).__name__, exc)
+
+    completed = system.transactions_completed()
+    failed = system.transactions_failed()
+    aborted = sum(master.aborted_transactions
+                  for master in system.masters)
+    ledger = system.ledger
+    total_energy = ledger.total_energy if ledger is not None else 0.0
+    overhead = ledger.overhead_energy if ledger is not None else 0.0
+    ok_txns = completed - failed
+    energy_per_txn = total_energy / ok_txns if ok_txns else 0.0
+
+    watchdog = system.watchdog
+    detail = error_text or "; ".join(
+        event.rule for event in (watchdog.events if watchdog else [])[:4]
+    )
+    return FaultRunResult(
+        scenario=scenario, fault=fault,
+        outcome=_classify(system, error_text),
+        completed=completed, failed=failed, aborted=aborted,
+        watchdog_events=len(watchdog.events) if watchdog else 0,
+        recoveries=watchdog.recoveries if watchdog else 0,
+        violations=len(system.checker.violations)
+        if system.checker else 0,
+        total_energy=total_energy, overhead_energy=overhead,
+        energy_per_txn=energy_per_txn,
+        baseline_energy_per_txn=baseline_energy_per_txn,
+        detail=detail,
+    )
+
+
+def run_fault_campaign(scenarios=("portable-audio-player",
+                                  "wireless-modem"),
+                       faults=("always-retry", "hung-slave"),
+                       seed=1, duration_us=20.0, slave_index=0,
+                       trigger_after=16, retry_limit=8, retry_backoff=2,
+                       hready_timeout=16, retry_budget=6,
+                       split_timeout=64, recover=True):
+    """Run every (scenario, fault) combination and report.
+
+    Parameters
+    ----------
+    scenarios, faults:
+        Names from the scenario registry and :data:`FAULT_MODES`.
+    slave_index, trigger_after:
+        Which slave misbehaves, and after how many healthy transfers.
+    retry_limit, retry_backoff:
+        Master-side resilience (per-transaction retry budget, idle
+        backoff after each RETRY).
+    hready_timeout, retry_budget, split_timeout, recover:
+        Watchdog configuration.  The default watchdog ``retry_budget``
+        sits below the master ``retry_limit`` so retry storms are cut
+        by the watchdog while the master budget remains the backstop.
+
+    Returns a :class:`CampaignResult`; simulator exceptions inside a
+    run are captured as ``crashed`` outcomes, never raised.
+    """
+    watchdog_kwargs = {
+        "hready_timeout": hready_timeout,
+        "retry_budget": retry_budget,
+        "split_timeout": split_timeout,
+        "recover": recover,
+    }
+    runs = []
+    for scenario in scenarios:
+        baseline = _run_one(
+            scenario, "none", seed, duration_us, slave_index,
+            trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
+            baseline_energy_per_txn=0.0,
+        )
+        baseline.baseline_energy_per_txn = baseline.energy_per_txn
+        runs.append(baseline)
+        for fault in faults:
+            runs.append(_run_one(
+                scenario, fault, seed, duration_us, slave_index,
+                trigger_after, retry_limit, retry_backoff,
+                watchdog_kwargs,
+                baseline_energy_per_txn=baseline.energy_per_txn,
+            ))
+    return CampaignResult(runs, duration_us)

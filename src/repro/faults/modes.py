@@ -1,0 +1,143 @@
+"""Behavioural fault modes for existing bus models.
+
+Where :mod:`repro.kernel.faults` corrupts individual signals, the
+models here misbehave at the *protocol* level — the failure modes a
+real SoC bring-up actually fights:
+
+* :class:`HangSlave` — accepts a transfer and then never raises
+  ``HREADYOUT`` again (a slave whose backend died);
+* :class:`AlwaysRetrySlave` — answers every transfer with RETRY
+  forever (a livelock generator for the master's re-issue path);
+* :class:`UnreleasedSplitSlave` — SPLITs the requesting master and
+  never raises ``HSPLITx``, parking the master in the arbiter's split
+  mask for good;
+* :class:`BabblingMaster` — drives random, protocol-breaking address
+  phases whenever granted (a corrupted master state machine), which
+  the :class:`~repro.amba.checker.AhbProtocolChecker` flags.
+
+All slaves behave healthily for their first ``trigger_after`` accepted
+transfers, so a workload makes real progress before the fault bites —
+campaigns compare the before/after energy and completion profile.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..amba.slave import MemorySlave
+from ..amba.types import HBURST, HRESP, HSIZE, HTRANS
+from ..kernel import Module
+
+
+class HangSlave(MemorySlave):
+    """A memory slave that stops responding after *trigger_after*
+    transfers: the data phase begins and ``HREADYOUT`` stays low
+    forever, stalling the whole bus until a watchdog cuts it off."""
+
+    def __init__(self, sim, name, clk, port, bus, trigger_after=0,
+                 **kwargs):
+        super().__init__(sim, name, clk, port, bus, **kwargs)
+        self.trigger_after = int(trigger_after)
+        self.hangs = 0
+
+    def _begin_transfer(self, transfer):
+        if self.transfers_accepted > self.trigger_after:
+            self.hangs += 1
+            # Unknown-duration stall that is never finished: the
+            # never-ready fault mode.
+            return (None, HRESP.OKAY)
+        return super()._begin_transfer(transfer)
+
+    @property
+    def hung(self):
+        """True once the slave has started hanging the bus."""
+        return self.hangs > 0
+
+
+class AlwaysRetrySlave(MemorySlave):
+    """A memory slave that answers RETRY to every transfer after its
+    first *trigger_after* healthy ones.  Against a master with no retry
+    limit this livelocks the bus; with a bounded master the transfer
+    fails cleanly once the budget is spent."""
+
+    def __init__(self, sim, name, clk, port, bus, trigger_after=0,
+                 **kwargs):
+        super().__init__(sim, name, clk, port, bus, **kwargs)
+        self.trigger_after = int(trigger_after)
+
+    def _begin_transfer(self, transfer):
+        waits, response = super()._begin_transfer(transfer)
+        if response != HRESP.OKAY:
+            return (waits, response)
+        if self.transfers_accepted > self.trigger_after:
+            return (waits, HRESP.RETRY)
+        return (waits, response)
+
+
+class UnreleasedSplitSlave(MemorySlave):
+    """A memory slave that SPLITs every transfer after its first
+    *trigger_after* healthy ones and never raises ``HSPLITx``: the
+    split master stays masked out of arbitration forever unless a
+    watchdog forces its release."""
+
+    def __init__(self, sim, name, clk, port, bus, trigger_after=0,
+                 **kwargs):
+        super().__init__(sim, name, clk, port, bus, **kwargs)
+        self.trigger_after = int(trigger_after)
+        self.splits_issued = 0
+
+    def _begin_transfer(self, transfer):
+        waits, response = super()._begin_transfer(transfer)
+        if response != HRESP.OKAY:
+            return (waits, response)
+        if self.transfers_accepted > self.trigger_after:
+            self.splits_issued += 1
+            return (0, HRESP.SPLIT)
+        return (waits, response)
+
+
+class BabblingMaster(Module):
+    """A misbehaving master driving random address phases.
+
+    Models a corrupted master state machine: requests the bus
+    constantly and, once granted, presents a new random transfer every
+    cycle — ignoring ``HREADY`` stalls, burst sequencing and (with
+    ``misalign_probability``) even address alignment.  Every individual
+    habit violates a spec rule the protocol checker watches
+    (stall-stability, seq-without-nonseq, burst-address, alignment), so
+    checker and fault model validate each other.
+    """
+
+    def __init__(self, sim, name, clk, port, bus, seed=0,
+                 region=(0, 0x1000), misalign_probability=0.25,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.port = port
+        self.bus = bus
+        self.rng = random.Random(seed)
+        self.region = region
+        self.misalign_probability = misalign_probability
+        self.babbled_cycles = 0
+        self.method(self._on_clk, [clk.posedge], name="babble",
+                    initialize=False)
+
+    def _on_clk(self):
+        port = self.port
+        port.hbusreq.write(1)
+        if not port.hgrant.value:
+            port.htrans.write(int(HTRANS.IDLE))
+            return
+        self.babbled_cycles += 1
+        base, size = self.region
+        address = base + self.rng.randrange(0, size)
+        if self.rng.random() >= self.misalign_probability:
+            address &= ~0x3  # usually word aligned, sometimes not
+        port.htrans.write(int(self.rng.choice(
+            (HTRANS.NONSEQ, HTRANS.SEQ, HTRANS.BUSY))))
+        port.haddr.write(address)
+        port.hwrite.write(self.rng.randint(0, 1))
+        port.hsize.write(int(HSIZE.WORD))
+        port.hburst.write(int(self.rng.choice(
+            (HBURST.SINGLE, HBURST.INCR4))))
+        port.hwdata.write(self.rng.getrandbits(32))

@@ -22,6 +22,13 @@ from .errors import (
     TracingError,
 )
 from .events import Event, MethodProcess, ThreadProcess
+from .faults import (
+    BitFlipFault,
+    FaultInjector,
+    GlitchFault,
+    SignalFault,
+    StuckAtFault,
+)
 from .module import Module
 from .signal import Signal
 from .simulator import Simulator
@@ -46,16 +53,21 @@ from .time import (
 )
 
 __all__ = [
+    "BitFlipFault",
     "Clock",
     "DeltaCycleLimitError",
     "ElaborationError",
     "Event",
+    "FaultInjector",
     "GHz",
+    "GlitchFault",
     "Hz",
     "KernelError",
     "MHz",
     "MethodProcess",
     "Module",
+    "SignalFault",
+    "StuckAtFault",
     "ProcessError",
     "ProcessProfile",
     "SimulationProfiler",

@@ -1,0 +1,249 @@
+"""Signal-level fault injection.
+
+Power emulation and resilience studies treat abnormal operating modes
+as first-class measurement targets: what does a glitched control line
+or a stuck-at net cost in energy, and does the system survive it?  This
+module provides the kernel half of that capability — corruption of
+:class:`~repro.kernel.signal.Signal` values at commit time, so every
+observer (processes, watchers, tracers, power monitors) sees the
+faulty value exactly as if the physical net were broken.
+
+Three fault kinds are provided:
+
+* :class:`StuckAtFault` — a named bit held at 0 or 1 while the fault
+  is active (a manufacturing/latch-up defect);
+* :class:`BitFlipFault` — a named bit inverted for a single cycle
+  (an SEU-style soft error);
+* :class:`GlitchFault` — the whole signal forced to a value for a
+  short burst of cycles (a transient glitch on the net).
+
+Activation is driven by the :class:`FaultInjector`, a clocked module
+that arms each fault inside its ``[start, end)`` time window, either
+deterministically or per-cycle with a seeded RNG, so every campaign is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SignalFault:
+    """Base class: one fault bound to one signal.
+
+    Parameters
+    ----------
+    signal:
+        The :class:`~repro.kernel.signal.Signal` to corrupt.
+    start, end:
+        Activation window in kernel time (ps).  ``start`` defaults to
+        0; ``end=None`` leaves the fault armed forever.
+    probability:
+        ``None`` (default) arms the fault deterministically for the
+        whole window (persistent kinds) or once at window entry
+        (transient kinds).  A float ``p`` instead rolls the injector's
+        seeded RNG every cycle inside the window and triggers a
+        transient burst with probability ``p``.
+    """
+
+    #: Cycles a triggered burst lasts; ``None`` means "as long as the
+    #: window is open" (persistent fault).
+    duration = None
+
+    def __init__(self, signal, start=0, end=None, probability=None):
+        self.signal = signal
+        self.start = int(start)
+        self.end = None if end is None else int(end)
+        self.probability = probability
+        #: Number of distinct activations so far.
+        self.fires = 0
+        #: Cycles the fault has actually been corrupting the signal.
+        self.active_cycles = 0
+        self._remaining = 0
+        self._active = False
+        self._fired_once = False
+
+    def corrupt(self, value):  # pragma: no cover - interface
+        """Return the corrupted version of *value*."""
+        raise NotImplementedError
+
+    def in_window(self, now):
+        """True when kernel time *now* falls inside the fault window."""
+        if now < self.start:
+            return False
+        return self.end is None or now < self.end
+
+    @property
+    def active(self):
+        """True while the fault is currently corrupting its signal."""
+        return self._active
+
+    def __repr__(self):
+        return "%s(%s, window=[%s, %s), fires=%d)" % (
+            type(self).__name__, self.signal.name, self.start,
+            "inf" if self.end is None else self.end, self.fires,
+        )
+
+
+class StuckAtFault(SignalFault):
+    """Bit *bit* of the signal held at *stuck_value* while active."""
+
+    duration = None  # persistent: holds for the whole window
+
+    def __init__(self, signal, bit, stuck_value=0, **kwargs):
+        super().__init__(signal, **kwargs)
+        self.bit = int(bit)
+        self.stuck_value = 1 if stuck_value else 0
+
+    def corrupt(self, value):
+        mask = 1 << self.bit
+        if self.stuck_value:
+            return value | mask
+        return value & ~mask
+
+
+class BitFlipFault(SignalFault):
+    """Bit *bit* of the signal inverted for exactly one cycle."""
+
+    duration = 1
+
+    def __init__(self, signal, bit, **kwargs):
+        super().__init__(signal, **kwargs)
+        self.bit = int(bit)
+
+    def corrupt(self, value):
+        return value ^ (1 << self.bit)
+
+
+class GlitchFault(SignalFault):
+    """The whole signal forced to *value* for *cycles* cycles."""
+
+    def __init__(self, signal, value, cycles=1, **kwargs):
+        super().__init__(signal, **kwargs)
+        self.value = value
+        self.duration = max(1, int(cycles))
+
+    def corrupt(self, value):
+        return self.value
+
+
+class FaultInjector:
+    """Clocked scheduler applying faults to their signals.
+
+    Not a :class:`~repro.kernel.module.Module` subclass on purpose: the
+    injector is test equipment, not part of the design hierarchy, and
+    keeping it outside the module tree means adding it never perturbs
+    hierarchical names or module walks.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    clk:
+        Clock whose rising edge paces fault evaluation.
+    seed:
+        Seed for the per-cycle probability rolls; every campaign run
+        with the same seed injects the same faults at the same times.
+    """
+
+    def __init__(self, sim, clk, seed=0, name="fault_injector"):
+        self.sim = sim
+        self.clk = clk
+        self.name = name
+        self.rng = random.Random(seed)
+        self.faults = []
+        #: Total fault activations across all faults.
+        self.injections = 0
+        sim.add_method(self._on_clk, [clk.posedge],
+                       name=name + ".schedule", initialize=False)
+
+    def add(self, fault):
+        """Register *fault* with the scheduler; returns the fault."""
+        self.faults.append(fault)
+        return fault
+
+    # -- convenience constructors ---------------------------------------
+
+    def stuck_at(self, signal, bit, stuck_value=0, **kwargs):
+        """Register a :class:`StuckAtFault` on *signal*."""
+        return self.add(StuckAtFault(signal, bit, stuck_value, **kwargs))
+
+    def bit_flip(self, signal, bit, **kwargs):
+        """Register a :class:`BitFlipFault` on *signal*."""
+        return self.add(BitFlipFault(signal, bit, **kwargs))
+
+    def glitch(self, signal, value, cycles=1, **kwargs):
+        """Register a :class:`GlitchFault` on *signal*."""
+        return self.add(GlitchFault(signal, value, cycles, **kwargs))
+
+    # -- scheduling -----------------------------------------------------
+
+    def _on_clk(self):
+        now = self.sim.now
+        dirty = set()
+        for fault in self.faults:
+            if self._step_fault(fault, now):
+                dirty.add(fault.signal)
+        for signal in dirty:
+            self._refresh_signal(signal)
+
+    def _step_fault(self, fault, now):
+        """Advance one fault's activation state; True when it changed."""
+        was_active = fault._active
+        in_window = fault.in_window(now)
+
+        if fault.duration is None:
+            # Persistent fault: active exactly while armed.
+            armed = in_window and (
+                fault.probability is None
+                or fault._active
+                or self.rng.random() < fault.probability
+            )
+            fault._active = armed
+        else:
+            # Transient fault: bursts of `duration` cycles.
+            if fault._remaining > 0:
+                fault._remaining -= 1
+                fault._active = fault._remaining > 0
+            elif in_window and self._should_trigger(fault):
+                fault._remaining = fault.duration
+                fault._active = True
+                fault._fired_once = True
+            else:
+                fault._active = False
+
+        if fault._active:
+            fault.active_cycles += 1
+            if not was_active:
+                fault.fires += 1
+                self.injections += 1
+        return fault._active != was_active
+
+    def _should_trigger(self, fault):
+        if fault.probability is not None:
+            return self.rng.random() < fault.probability
+        return not fault._fired_once
+
+    def _refresh_signal(self, signal):
+        """Reinstall the composite corruption hook for *signal*."""
+        active = [fault for fault in self.faults
+                  if fault.signal is signal and fault._active]
+        if not active:
+            signal.clear_injection()
+        elif len(active) == 1:
+            signal.set_injection(active[0].corrupt)
+        else:
+            def composite(value, _chain=tuple(active)):
+                for fault in _chain:
+                    value = fault.corrupt(value)
+                return value
+            signal.set_injection(composite)
+
+    def active_faults(self):
+        """The faults currently corrupting their signals."""
+        return [fault for fault in self.faults if fault._active]
+
+    def __repr__(self):
+        return "FaultInjector(faults=%d, injections=%d)" % (
+            len(self.faults), self.injections,
+        )

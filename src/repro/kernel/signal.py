@@ -47,6 +47,7 @@ class Signal:
         "_posedge",
         "_negedge",
         "_watchers",
+        "_inject",
     )
 
     def __init__(self, sim, name="signal", init=0, width=1):
@@ -60,6 +61,7 @@ class Signal:
         self._posedge = None
         self._negedge = None
         self._watchers = None
+        self._inject = None
         sim._register_signal(self)
 
     # -- value access -------------------------------------------------
@@ -92,6 +94,32 @@ class Signal:
         """
         self._value = value
         self._next = value
+
+    # -- fault injection -----------------------------------------------
+
+    def set_injection(self, fn):
+        """Install a commit-time corruption hook (fault injection).
+
+        ``fn(value) -> value`` is applied to every staged value before
+        it is committed, so *every* observer — processes, watchers,
+        tracers — sees the corrupted value, exactly as if the physical
+        net were faulty.  The driver keeps writing the healthy value;
+        clearing the hook restores it on the next commit.
+        """
+        self._inject = fn
+        # Restage the driver's value so the hook takes effect even when
+        # the driver has nothing new to write this cycle.
+        self.write(self._next)
+
+    def clear_injection(self):
+        """Remove the injection hook and recommit the healthy value."""
+        self._inject = None
+        self.write(self._next)
+
+    @property
+    def injected(self):
+        """True while an injection hook is installed."""
+        return self._inject is not None
 
     # -- edge events (lazily created) ----------------------------------
 
@@ -126,6 +154,8 @@ class Signal:
         self._staged = False
         old = self._value
         new = self._next
+        if self._inject is not None:
+            new = self._inject(new)
         if new == old:
             return
         self._value = new

@@ -49,17 +49,24 @@ class EnergyLedger:
     def __init__(self, blocks=PAPER_BLOCKS):
         self.block_energy = {block: 0.0 for block in blocks}
         self.instructions = {}
+        #: Energy per bus response kind (``"OKAY"``, ``"RETRY"``,
+        #: ``"ERROR"``, ``"SPLIT"``) for cycles tagged by the monitor.
+        #: Non-OKAY buckets are the energy cost of fault handling —
+        #: retry re-issues, error recovery, split parking.
+        self.response_energy = {}
         self.total_energy = 0.0
         self.cycles = 0
 
     # -- charging ----------------------------------------------------------
 
-    def charge_cycle(self, instruction, block_energies):
+    def charge_cycle(self, instruction, block_energies, response=None):
         """Account one cycle: *block_energies* maps block → joules.
 
         The cycle's total is attributed to *instruction* (a string such
         as ``"WRITE_READ"``); unknown blocks are added on the fly so
         extended decompositions (e.g. an APB bridge block) just work.
+        *response* optionally tags the cycle with the bus response kind
+        shown during it (fault/overhead accounting).
         """
         cycle_total = 0.0
         for block, energy in block_energies.items():
@@ -76,6 +83,10 @@ class EnergyLedger:
             stats = self.instructions[instruction] = InstructionStats()
         stats.count += 1
         stats.energy += cycle_total
+        if response is not None:
+            self.response_energy[response] = (
+                self.response_energy.get(response, 0.0) + cycle_total
+            )
         self.total_energy += cycle_total
         self.cycles += 1
         return cycle_total
@@ -106,6 +117,24 @@ class EnergyLedger:
                      for name, stats in self.instructions.items()
                      if predicate(name))
         return energy / self.total_energy
+
+    @property
+    def overhead_energy(self):
+        """Energy of cycles tagged with a non-OKAY response (joules).
+
+        The direct cost of fault handling on the bus: RETRY/SPLIT
+        response cycles plus ERROR recovery cycles.  Zero when the run
+        was fault-free or the monitor did not tag responses.
+        """
+        return sum(energy
+                   for response, energy in self.response_energy.items()
+                   if response != "OKAY")
+
+    def response_share(self, response):
+        """Fraction of total energy spent in *response*-tagged cycles."""
+        if self.total_energy == 0:
+            return 0.0
+        return self.response_energy.get(response, 0.0) / self.total_energy
 
     def block_breakdown(self):
         """Dict block → (energy, share), sorted by descending energy."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 
-from ..amba.types import HTRANS
+from ..amba.types import HRESP, HTRANS
 from ..kernel import Module
 from .activity import Activity
 from .hamming import hamming
@@ -229,7 +229,8 @@ class GlobalPowerMonitor(Module):
             bus.htrans.value, bus.hwrite.value,
             handover=handover_done or grant_pending or parked,
         )
-        self.fsm.step(self.sim.now, mode, energies)
+        self.fsm.step(self.sim.now, mode, energies,
+                      response=HRESP(bus.hresp.value).name)
         self.master_energy[owner] += sum(energies.values())
 
     def master_energy_shares(self):
@@ -311,7 +312,8 @@ class LocalPowerMonitor(Module):
         # energy can be charged in the same step.
         name = instruction_name(self.fsm.state, mode)
         energy = self.instruction_energies.get(name, self.default_energy)
-        self.fsm.step(self.sim.now, mode, {"BUS": energy})
+        self.fsm.step(self.sim.now, mode, {"BUS": energy},
+                      response=HRESP(bus.hresp.value).name)
 
     @property
     def total_energy(self):
@@ -413,7 +415,8 @@ class PrivatePowerMonitor(Module):
         )
         for block in self._pending:
             self._pending[block] = 0.0
-        self.fsm.step(self.sim.now, mode, energies)
+        self.fsm.step(self.sim.now, mode, energies,
+                      response=HRESP(bus.hresp.value).name)
 
     @property
     def total_energy(self):

@@ -44,7 +44,7 @@ class PowerFsm:
         if self.instruction_log is None:
             self.instruction_log = []
 
-    def step(self, time_ps, mode, block_energies):
+    def step(self, time_ps, mode, block_energies, response=None):
         """Advance one cycle.
 
         Parameters
@@ -55,12 +55,16 @@ class PowerFsm:
             The observed :class:`~repro.power.instructions.BusMode`.
         block_energies:
             Mapping block key → joules for this cycle.
+        response:
+            Optional bus response tag (``"OKAY"``/``"RETRY"``/...) for
+            the ledger's fault-overhead accounting.
 
         Returns the executed instruction name.
         """
         instruction = instruction_name(self.state, mode)
         self.state = mode
-        total = self.ledger.charge_cycle(instruction, block_energies)
+        total = self.ledger.charge_cycle(instruction, block_energies,
+                                         response=response)
         if self.traces is not None:
             self.traces.record(time_ps, block_energies)
             self.traces.record(time_ps, {"TOTAL": total})

@@ -16,6 +16,7 @@ from ..amba import (
     AhbConfig,
     AhbMaster,
     AhbProtocolChecker,
+    AhbWatchdog,
     Arbitration,
     DefaultMaster,
     MemorySlave,
@@ -57,6 +58,20 @@ class AhbSystem:
         Record per-block power traces (global style only).
     checker:
         Attach an :class:`~repro.amba.AhbProtocolChecker`.
+    retry_limit, retry_backoff:
+        Resilience knobs forwarded to every active
+        :class:`~repro.amba.AhbMaster` (bounded retry budget and
+        post-RETRY idle backoff).
+    slave_overrides:
+        Optional mapping ``index -> factory``; the factory is called as
+        ``factory(sim, name, clk, port, bus, base=..., wait_states=...)``
+        and replaces the stock :class:`~repro.amba.MemorySlave` at that
+        index (fault-injection campaigns swap in misbehaving slaves
+        this way).
+    watchdog, watchdog_kwargs:
+        Attach an :class:`~repro.amba.AhbWatchdog` observing the bus
+        and all active masters; *watchdog_kwargs* forwards timeouts and
+        the ``recover`` switch.
     """
 
     def __init__(self, sources, n_slaves=3, wait_states=None,
@@ -65,7 +80,10 @@ class AhbSystem:
                  arbitration=Arbitration.FIXED_PRIORITY,
                  power_analysis=True, monitor_style="global",
                  instruction_energies=None, params=PAPER_TECHNOLOGY,
-                 with_traces=False, datafile=None, checker=True):
+                 with_traces=False, datafile=None, checker=True,
+                 retry_limit=None, retry_backoff=0,
+                 slave_overrides=None, watchdog=False,
+                 watchdog_kwargs=None):
         if monitor_style not in MONITOR_STYLES:
             raise ValueError("unknown monitor style %r" % monitor_style)
         n_active = len(sources)
@@ -85,7 +103,8 @@ class AhbSystem:
         self.masters = [
             AhbMaster(self.sim, "master%d" % index, self.clk,
                       self.bus.master_ports[index], self.bus,
-                      source=source)
+                      source=source, retry_limit=retry_limit,
+                      retry_backoff=retry_backoff)
             for index, source in enumerate(sources)
         ]
         self.default_master = DefaultMaster(
@@ -95,17 +114,30 @@ class AhbSystem:
 
         if wait_states is None:
             wait_states = [0] * n_slaves
-        self.slaves = [
-            MemorySlave(self.sim, "slave%d" % index, self.clk,
-                        self.bus.slave_ports[index], self.bus,
-                        base=self.config.slave_base(index),
-                        wait_states=wait_states[index])
-            for index in range(n_slaves)
-        ]
+        if slave_overrides is None:
+            slave_overrides = {}
+        self.slaves = []
+        for index in range(n_slaves):
+            factory = slave_overrides.get(index, MemorySlave)
+            self.slaves.append(factory(
+                self.sim, "slave%d" % index, self.clk,
+                self.bus.slave_ports[index], self.bus,
+                base=self.config.slave_base(index),
+                wait_states=wait_states[index],
+            ))
 
         self.checker = None
         if checker:
             self.checker = AhbProtocolChecker(self.sim, "checker", self.bus)
+
+        self.watchdog = None
+        if watchdog:
+            self.watchdog = AhbWatchdog(
+                self.sim, "watchdog", self.bus,
+                masters={index: master
+                         for index, master in enumerate(self.masters)},
+                **(watchdog_kwargs or {})
+            )
 
         self.monitor = None
         if power_analysis and monitor_style != "none":
@@ -161,6 +193,12 @@ class AhbSystem:
     def transactions_completed(self):
         """Total transactions completed across the active masters."""
         return sum(len(master.completed) for master in self.masters)
+
+    def transactions_failed(self):
+        """Transactions that completed with ``error=True`` (bus errors
+        and aborted/retry-exhausted transfers)."""
+        return sum(1 for master in self.masters
+                   for txn in master.completed if txn.error)
 
 
 def slave_regions(config, scale=1.0):

@@ -168,3 +168,33 @@ class TestErrorsAndRetries:
         assert all(t.done and not t.error for t in txns + reads)
         assert [r.rdata[0] for r in reads] == list(range(10))
         assert sum(t.retries for t in txns + reads) > 0
+
+    def test_retry_limit_terminates_against_always_retry_slave(self):
+        # retry_period=1 answers RETRY to every transfer: without a
+        # retry limit the master would re-issue forever (livelock).
+        from tests.conftest import SmallSystem
+        sys = SmallSystem()
+        sys.slaves[0].retry_period = 1  # slave 0 only; slave 1 healthy
+        sys.m0.retry_limit = 5
+        doomed = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(5)
+        sys.assert_clean()
+        assert doomed.done and doomed.error
+        assert doomed.retries == 6  # limit + the exhausting attempt
+        assert "retry budget exhausted" in doomed.abort_reason
+        assert sys.m0.aborted_transactions == 1
+        # slave 1 has no retry injection: the bus stayed live
+        assert after.done and not after.error
+        assert sys.slaves[1].peek(0x10) == 2
+
+    def test_slave_counts_retries_separately_from_splits(self):
+        from tests.conftest import SmallSystem
+        sys = SmallSystem(retry_period=2)
+        for i in range(6):
+            sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+        sys.run_us(5)
+        sys.assert_clean()
+        assert sys.slaves[0].retry_responses > 0
+        assert sys.slaves[0].split_responses == 0
+        assert sys.slaves[0].error_responses == 0

@@ -1,0 +1,117 @@
+"""Unit tests: behavioural fault modes, and their visibility to the
+protocol checker and fault injectors."""
+
+from repro.amba import AhbTransaction
+from repro.faults import (
+    AlwaysRetrySlave,
+    BabblingMaster,
+    FaultInjector,
+    HangSlave,
+    UnreleasedSplitSlave,
+)
+from repro.kernel import ns
+from tests.test_faults_watchdog import FaultySystem
+
+
+class TestHangSlave:
+    def test_healthy_until_trigger(self):
+        sys = FaultySystem(HangSlave, trigger_after=3, recover=False)
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(5)]
+        sys.run_us(3)
+        # first three transfers complete, the fourth hangs the bus
+        assert [t.done for t in txns] == [True] * 3 + [False, False]
+        assert sys.slaves[0].hung
+        assert sys.slaves[0].hangs >= 1
+
+    def test_hang_holds_hready_low(self):
+        sys = FaultySystem(HangSlave, trigger_after=0, recover=False)
+        sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(2)
+        assert not sys.bus.hready.value
+
+
+class TestAlwaysRetrySlave:
+    def test_retries_after_trigger_counted(self):
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=2,
+                           retry_limit=3, retry_budget=10_000)
+        good = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(2)]
+        bad = sys.m0.enqueue(AhbTransaction.write_single(0x40, 9))
+        sys.run_us(3)
+        assert all(t.done and not t.error for t in good)
+        assert bad.done and bad.error
+        assert sys.slaves[0].retry_responses >= 3
+        assert sys.slaves[0].split_responses == 0
+
+    def test_error_paths_pass_through(self):
+        # Out-of-range accesses must still ERROR, not RETRY.
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=3, size=0x100,
+                           retry_budget=10_000)
+        bad = sys.m0.enqueue(AhbTransaction.read(0x800))
+        sys.run_us(2)
+        assert bad.done and bad.error
+        assert sys.slaves[0].error_responses == 1
+        assert sys.slaves[0].retry_responses == 0
+
+
+class TestUnreleasedSplitSlave:
+    def test_split_issued_and_never_released(self):
+        sys = FaultySystem(UnreleasedSplitSlave, trigger_after=0,
+                           recover=False, split_timeout=10_000)
+        txn = sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(3)
+        assert sys.slaves[0].splits_issued == 1
+        assert not txn.done  # parked in the split mask forever
+        assert not sys.split_mask_clear()
+
+    def test_healthy_until_trigger(self):
+        sys = FaultySystem(UnreleasedSplitSlave, trigger_after=2,
+                           recover=False, split_timeout=10_000)
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(3)]
+        sys.run_us(3)
+        assert [t.done for t in txns] == [True, True, False]
+
+
+class TestBabblingMasterVsChecker:
+    def test_checker_flags_babbled_protocol_faults(self):
+        sys = FaultySystem(master1_cls=BabblingMaster)
+        sys.run_us(5)
+        assert sys.m1.babbled_cycles > 0
+        assert not sys.checker.ok
+        assert len(sys.checker.violations) >= 1
+
+    def test_babbler_is_reproducible(self):
+        def violations(seed):
+            sys = FaultySystem(recover=False, master1_cls=(
+                lambda sim, name, clk, port, bus:
+                BabblingMaster(sim, name, clk, port, bus, seed=seed)))
+            sys.run_us(3)
+            return [v.rule for v in sys.checker.violations]
+
+        assert violations(5) == violations(5)
+
+
+class TestSignalInjectionVsChecker:
+    def test_checker_flags_glitched_htrans(self):
+        # A glitch forcing SEQ onto the idle bus HTRANS is a
+        # protocol-visible fault the checker must catch.
+        sys = FaultySystem(recover=False)
+        injector = FaultInjector(sys.sim, sys.clk, seed=1)
+        injector.glitch(sys.bus.htrans, value=3, cycles=2,
+                        start=ns(200))
+        sys.run_us(2)
+        assert injector.injections >= 1
+        assert not sys.checker.ok
+
+    def test_clean_system_stays_clean_without_faults(self):
+        sys = FaultySystem(recover=False)
+        FaultInjector(sys.sim, sys.clk, seed=1)  # armed with nothing
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(4)]
+        sys.run_us(2)
+        assert all(t.done and not t.error for t in txns)
+        assert sys.checker.ok
+        assert sys.watchdog.ok

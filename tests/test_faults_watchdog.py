@@ -1,0 +1,240 @@
+"""Integration tests: the bus watchdog detecting and recovering from
+liveness hazards behavioural faults create."""
+
+from repro.amba import (
+    AhbBus,
+    AhbConfig,
+    AhbMaster,
+    AhbProtocolChecker,
+    AhbTransaction,
+    AhbWatchdog,
+    DefaultMaster,
+    MemorySlave,
+)
+from repro.faults import (
+    AlwaysRetrySlave,
+    HangSlave,
+    UnreleasedSplitSlave,
+)
+from repro.kernel import Clock, MHz, Simulator, us
+
+
+class FaultySystem:
+    """2 active masters + 2 slaves, slave 0 built by *slave0_factory*,
+    with a watchdog attached."""
+
+    def __init__(self, slave0_factory=MemorySlave, retry_limit=None,
+                 retry_backoff=0, hready_timeout=8, retry_budget=5,
+                 split_timeout=16, recover=True, master1_cls=AhbMaster,
+                 **slave0_kwargs):
+        self.sim = Simulator()
+        self.clk = Clock.from_frequency(self.sim, "clk", MHz(100))
+        self.config = AhbConfig.with_uniform_map(
+            n_masters=3, n_slaves=2, region_size=0x1000,
+            default_master=2,
+        )
+        self.bus = AhbBus(self.sim, "ahb", self.clk, self.config)
+        self.m0 = AhbMaster(self.sim, "m0", self.clk,
+                            self.bus.master_ports[0], self.bus,
+                            retry_limit=retry_limit,
+                            retry_backoff=retry_backoff)
+        self.m1 = master1_cls(self.sim, "m1", self.clk,
+                              self.bus.master_ports[1], self.bus)
+        self.dm = DefaultMaster(self.sim, "dm", self.clk,
+                                self.bus.master_ports[2], self.bus)
+        self.slaves = [
+            slave0_factory(self.sim, "s0", self.clk,
+                           self.bus.slave_ports[0], self.bus,
+                           base=0, **slave0_kwargs),
+            MemorySlave(self.sim, "s1", self.clk,
+                        self.bus.slave_ports[1], self.bus,
+                        base=0x1000),
+        ]
+        self.checker = AhbProtocolChecker(self.sim, "chk", self.bus)
+        self.watchdog = AhbWatchdog(
+            self.sim, "wd", self.bus, masters=[self.m0, self.m1],
+            hready_timeout=hready_timeout, retry_budget=retry_budget,
+            split_timeout=split_timeout, recover=recover,
+        )
+
+    def run_us(self, micros):
+        self.sim.run(until=self.sim.now + us(micros))
+        return self
+
+    def split_mask_clear(self, master_index=0):
+        return (self.bus.arbiter.split_mask.value
+                >> master_index) & 1 == 0
+
+
+class TestStallDetection:
+    def test_hung_slave_detected_and_cut_off(self):
+        sys = FaultySystem(HangSlave, trigger_after=0,
+                           hready_timeout=8)
+        hung = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(3)
+        assert sys.slaves[0].hung
+        assert sys.watchdog.stall_events >= 1
+        assert sys.watchdog.recoveries >= 1
+        assert not sys.watchdog.ok
+        # the hung transfer failed, the bus stayed usable afterwards
+        assert hung.done and hung.error
+        assert after.done and not after.error
+        assert sys.slaves[1].peek(0x10) == 2
+
+    def test_forced_error_recovery_is_protocol_clean(self):
+        sys = FaultySystem(HangSlave, trigger_after=0)
+        sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(3)
+        assert sys.watchdog.recoveries >= 1
+        assert sys.checker.ok, sys.checker.violations[:5]
+        assert sys.bus.s2m_mux.forced_errors >= 1
+
+    def test_detect_only_mode_records_without_recovery(self):
+        sys = FaultySystem(HangSlave, trigger_after=0, recover=False)
+        hung = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.run_us(3)
+        assert sys.watchdog.stall_events >= 1
+        assert sys.watchdog.recoveries == 0
+        assert not hung.done  # nothing broke the stall
+        assert not sys.bus.hready.value
+
+    def test_stall_events_carry_diagnostics(self):
+        sys = FaultySystem(HangSlave, trigger_after=0,
+                           hready_timeout=8)
+        sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(2)
+        event = sys.watchdog.events[0]
+        assert event.rule == "hready-stall"
+        assert "HREADY low for 8 cycles" in event.message
+        assert event.recovered
+        assert "hready-stall" in repr(event)
+
+    def test_legitimate_wait_states_below_window_are_tolerated(self):
+        sys = FaultySystem(MemorySlave, wait_states=3,
+                           hready_timeout=8)
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(8)]
+        sys.run_us(3)
+        assert all(t.done and not t.error for t in txns)
+        assert sys.watchdog.ok
+        assert sys.watchdog.cycles_watched > 0
+
+
+class TestRetryStormDetection:
+    def test_unbounded_retry_storm_is_cut_by_watchdog(self):
+        # No master-side retry limit: without the watchdog this
+        # combination livelocks forever.
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=None, retry_budget=5)
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(5)
+        assert sys.watchdog.retry_storms >= 1
+        assert sys.watchdog.recoveries >= 1
+        assert txn.done and txn.error
+        assert txn.abort_reason is not None
+        assert "RETRY" in txn.abort_reason
+        assert after.done and not after.error
+
+    def test_storm_event_names_offending_master(self):
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=None, retry_budget=4)
+        sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(3)
+        storms = [e for e in sys.watchdog.events
+                  if e.rule == "retry-storm"]
+        assert storms
+        assert "master M0" in storms[0].message
+
+
+class TestSplitTimeoutDetection:
+    def test_unreleased_split_is_released_and_aborted(self):
+        sys = FaultySystem(UnreleasedSplitSlave, trigger_after=0,
+                           split_timeout=16)
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(5)
+        assert sys.slaves[0].splits_issued >= 1
+        assert sys.watchdog.split_timeouts >= 1
+        assert sys.split_mask_clear()
+        assert txn.done and txn.error
+        assert after.done and not after.error
+
+    def test_split_counter_on_slave_is_distinct_from_retry(self):
+        sys = FaultySystem(UnreleasedSplitSlave, trigger_after=0)
+        sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(3)
+        assert sys.slaves[0].split_responses >= 1
+        assert sys.slaves[0].retry_responses == 0
+
+
+class TestWatchdogConstruction:
+    def test_masters_accepted_as_dict(self):
+        sys = FaultySystem(MemorySlave)
+        wd = AhbWatchdog(sys.sim, "wd2", sys.bus,
+                         masters={0: sys.m0}, recover=True)
+        assert wd.masters == {0: sys.m0}
+        assert wd.ok
+
+    def test_abort_without_registered_master_is_a_noop(self):
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=None, retry_budget=4)
+        sys.watchdog.masters = {}  # forget the masters
+        txn = sys.m0.enqueue(AhbTransaction.read(0x0))
+        sys.run_us(2)
+        # detection still works; recovery cannot
+        assert sys.watchdog.retry_storms >= 1
+        assert sys.watchdog.recoveries == 0
+        assert not txn.done
+
+
+class TestBoundedRetryMaster:
+    def test_retry_limit_terminates_against_always_retry_slave(self):
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=6, retry_budget=10_000)
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 2))
+        sys.run_us(5)
+        assert txn.done and txn.error
+        assert txn.retries == 7  # limit + the exhausting attempt
+        assert "retry budget exhausted" in txn.abort_reason
+        assert sys.m0.aborted_transactions == 1
+        assert after.done and not after.error
+
+    def test_retry_backoff_inserts_idle_cycles(self):
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=4, retry_backoff=3,
+                           retry_budget=10_000)
+        sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.run_us(5)
+        assert sys.m0.backoff_cycles >= 3
+
+    def test_default_master_retry_behaviour_unchanged(self):
+        # retry_limit=None preserves the historical infinite retry.
+        sys = FaultySystem(MemorySlave, retry_period=4,
+                           retry_budget=10_000)
+        txns = [sys.m0.enqueue(AhbTransaction.write_single(4 * i, i))
+                for i in range(6)]
+        sys.run_us(5)
+        assert all(t.done and not t.error for t in txns)
+        assert sum(t.retries for t in txns) > 0
+        assert sys.m0.aborted_transactions == 0
+
+
+class TestAbortCurrent:
+    def test_abort_current_without_transaction_returns_none(self):
+        sys = FaultySystem(MemorySlave)
+        sys.run_us(1)
+        assert sys.m0.abort_current("test") is None
+
+    def test_abort_current_fails_inflight_transaction(self):
+        sys = FaultySystem(HangSlave, trigger_after=0, recover=False)
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.run_us(1)
+        assert not txn.done
+        aborted = sys.m0.abort_current("manual abort")
+        assert aborted is txn
+        assert txn.done and txn.error
+        assert txn.abort_reason == "manual abort"

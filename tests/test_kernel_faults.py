@@ -1,0 +1,154 @@
+"""Unit tests: signal-level fault injection in the kernel."""
+
+from repro.kernel import (
+    BitFlipFault,
+    Clock,
+    FaultInjector,
+    GlitchFault,
+    MHz,
+    Signal,
+    Simulator,
+    StuckAtFault,
+    ns,
+)
+
+
+class Harness:
+    """A clocked driver writing a constant pattern to one signal."""
+
+    def __init__(self, pattern=0b1111, width=8):
+        self.sim = Simulator()
+        self.clk = Clock.from_frequency(self.sim, "clk", MHz(100))
+        self.sig = Signal(self.sim, "sig", init=pattern, width=width)
+        self.pattern = pattern
+        self.samples = []
+        self.sim.add_method(self._drive, [self.clk.posedge],
+                            name="drive", initialize=False)
+        self.injector = FaultInjector(self.sim, self.clk, seed=7)
+        self.sim.add_method(self._sample, [self.clk.posedge],
+                            name="sample", initialize=False)
+
+    def _drive(self):
+        self.sig.write(self.pattern)
+
+    def _sample(self):
+        self.samples.append(self.sig.value)
+
+    def run_cycles(self, cycles):
+        self.sim.run(until=self.sim.now + cycles * ns(10))
+        return self
+
+
+class TestSignalInjectionHook:
+    def test_set_injection_corrupts_committed_value(self):
+        h = Harness()
+        h.run_cycles(2)
+        h.sig.set_injection(lambda value: 0)
+        h.run_cycles(3)
+        assert h.sig.value == 0
+        assert h.sig.injected
+
+    def test_clear_injection_restores_driver_value(self):
+        h = Harness()
+        h.sig.set_injection(lambda value: 0)
+        h.run_cycles(3)
+        h.sig.clear_injection()
+        h.run_cycles(2)
+        assert h.sig.value == h.pattern
+        assert not h.sig.injected
+
+
+class TestStuckAt:
+    def test_stuck_at_zero_holds_bit_inside_window(self):
+        h = Harness(pattern=0b1111)
+        fault = h.injector.stuck_at(h.sig, bit=1, stuck_value=0,
+                                    start=ns(30), end=ns(80))
+        h.run_cycles(20)
+        # bit 1 forced low only while the window was open
+        assert fault.fires == 1
+        assert fault.active_cycles > 0
+        assert 0b1101 in h.samples
+        # after the window the healthy value is back
+        assert h.samples[-1] == 0b1111
+        assert not h.sig.injected
+
+    def test_stuck_at_one_sets_bit(self):
+        h = Harness(pattern=0)
+        h.injector.stuck_at(h.sig, bit=3, stuck_value=1, start=0)
+        h.run_cycles(5)
+        assert h.sig.value == 0b1000
+
+
+class TestBitFlip:
+    def test_flip_lasts_one_cycle(self):
+        h = Harness(pattern=0b0001)
+        fault = h.injector.bit_flip(h.sig, bit=0, start=ns(40))
+        h.run_cycles(20)
+        assert fault.fires == 1
+        assert fault.active_cycles == 1
+        corrupted = [s for s in h.samples if s == 0b0000]
+        assert len(corrupted) == 1
+        assert h.samples[-1] == 0b0001
+
+
+class TestGlitch:
+    def test_glitch_forces_value_for_n_cycles(self):
+        h = Harness(pattern=0x5A)
+        fault = h.injector.glitch(h.sig, value=0xFF, cycles=3,
+                                  start=ns(40))
+        h.run_cycles(20)
+        assert fault.fires == 1
+        assert fault.active_cycles == 3
+        assert h.samples.count(0xFF) == 3
+        assert h.samples[-1] == 0x5A
+
+
+class TestScheduling:
+    def test_probabilistic_fault_is_seed_reproducible(self):
+        def fires_with(seed):
+            h = Harness(pattern=0b0001)
+            h.injector.rng.seed(seed)
+            fault = BitFlipFault(h.sig, bit=0, probability=0.2)
+            h.injector.add(fault)
+            h.run_cycles(50)
+            return fault.fires, list(h.samples)
+
+        assert fires_with(3) == fires_with(3)
+        a_fires, _ = fires_with(3)
+        assert a_fires > 0
+
+    def test_composite_faults_on_one_signal(self):
+        h = Harness(pattern=0)
+        h.injector.stuck_at(h.sig, bit=0, stuck_value=1, start=0)
+        h.injector.stuck_at(h.sig, bit=2, stuck_value=1, start=0)
+        h.run_cycles(5)
+        assert h.sig.value == 0b0101
+
+    def test_injection_counter_totals_activations(self):
+        h = Harness()
+        h.injector.bit_flip(h.sig, bit=0, start=ns(20))
+        h.injector.glitch(h.sig, value=0, cycles=2, start=ns(60))
+        h.run_cycles(20)
+        assert h.injector.injections == 2
+        assert not h.injector.active_faults()
+
+    def test_window_not_yet_open_means_no_fire(self):
+        h = Harness()
+        fault = h.injector.glitch(h.sig, value=0, start=ns(10_000))
+        h.run_cycles(10)
+        assert fault.fires == 0
+        assert h.sig.value == h.pattern
+
+    def test_fault_repr_mentions_signal(self):
+        fault = StuckAtFault.__new__(StuckAtFault)
+        h = Harness()
+        fault = h.injector.stuck_at(h.sig, bit=0)
+        assert "sig" in repr(fault)
+        assert "faults=1" in repr(h.injector)
+
+    def test_glitch_fault_direct_corrupt(self):
+        h = Harness()
+        fault = GlitchFault(h.sig, value=0x42, cycles=1)
+        assert fault.corrupt(0) == 0x42
+        flip = BitFlipFault(h.sig, bit=4)
+        assert flip.corrupt(0) == 0b10000
