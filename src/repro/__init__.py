@@ -24,6 +24,12 @@ Subpackages
 ``repro.faults``
     Fault injection (signal-level and behavioural), the bus watchdog's
     campaign driver, and resilience/energy-overhead reporting.
+``repro.protocol``
+    Runtime AHB compliance engine: per-cycle assertion monitors with
+    AMBA-spec rule references and configurable severity.
+``repro.replay``
+    Deterministic record/replay of runs from their provenance, plus a
+    delta-debugging failure shrinker.
 """
 
 __version__ = "1.0.0"
@@ -54,6 +60,14 @@ from .power import (  # noqa: E402
     PrivatePowerMonitor,
     TechnologyParameters,
 )
+from .protocol import ComplianceEngine, ProtocolViolation  # noqa: E402
+from .replay import (  # noqa: E402
+    ReplayTrace,
+    RunOutcome,
+    RunSpec,
+    execute,
+    shrink,
+)
 from .workloads import AhbSystem, build_paper_testbench  # noqa: E402
 
 __all__ = [
@@ -68,6 +82,7 @@ __all__ = [
     "ArbiterEnergyModel",
     "Arbitration",
     "Clock",
+    "ComplianceEngine",
     "DecoderEnergyModel",
     "DefaultMaster",
     "EnergyLedger",
@@ -81,11 +96,17 @@ __all__ = [
     "PAPER_TECHNOLOGY",
     "PowerFsm",
     "PrivatePowerMonitor",
+    "ProtocolViolation",
+    "ReplayTrace",
+    "RunOutcome",
+    "RunSpec",
     "Signal",
     "Simulator",
     "TechnologyParameters",
     "build_paper_testbench",
+    "execute",
     "ns",
     "run_fault_campaign",
+    "shrink",
     "us",
 ]

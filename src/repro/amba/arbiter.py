@@ -29,7 +29,7 @@ so the power model can charge its FSM energy terms.
 
 from __future__ import annotations
 
-from ..kernel import Module, Signal
+from ..kernel import Module
 from .config import Arbitration
 from .types import HRESP, HTRANS, burst_beats, is_active
 

@@ -1,75 +1,26 @@
-"""AHB protocol checker.
+"""AHB protocol checker — legacy facade over :mod:`repro.protocol`.
 
-A passive monitor that watches the shared bus signals every clock cycle
-and records violations of AMBA spec rev 2.0 rules.  It is the model's
-safety net: the test suite runs every integration scenario with the
-checker attached and asserts that no violations were recorded.
+Historically this module implemented its own per-cycle rule checks;
+they now live in the :mod:`repro.protocol` rule catalogue and the
+checker is a thin :class:`~repro.protocol.ComplianceEngine` subclass
+preserving the original surface: ``strict`` (assignable after
+construction), ``ok``, ``violations`` and ``cycles_checked``.
 
-Checked rules
--------------
-* ``HSEL`` is one-hot across slaves (including the default slave).
-* ``HGRANT`` is one-hot across masters.
-* Address/control signals are stable while the bus is stalled
-  (``HREADY=0``), except that the master may cancel to IDLE during a
-  non-OKAY response cycle (§3.9.3).
-* Beat addresses are aligned to the transfer size (§3.4).
-* A burst starts with NONSEQ; SEQ beats carry the architected next
-  address and unchanged control (§3.5).
-* BUSY appears only inside a burst (§3.4).
-* Non-OKAY responses follow the two-cycle protocol: the final
-  (``HREADY=1``) response cycle is preceded by at least one
-  ``HREADY=0`` cycle with the same response (§3.9).
-* Cycles with no data phase in flight show zero-wait OKAY.
+The facade monitors the *mandatory* (spec-requirement) rules only —
+its historical contract.  The advisory liveness bounds (wait-limit,
+retry-livelock, split-release) are the engine's extension; construct a
+:class:`~repro.protocol.ComplianceEngine` directly to get them.
 """
 
 from __future__ import annotations
 
-from ..kernel import Module
-from .types import (
-    HBURST,
-    HRESP,
-    HTRANS,
-    aligned,
-    is_active,
-    next_burst_address,
-)
+from ..protocol import ComplianceEngine, ProtocolViolation
+
+__all__ = ["AhbProtocolChecker", "ProtocolViolation"]
 
 
-class ProtocolViolation:
-    """One recorded rule violation."""
-
-    __slots__ = ("time", "rule", "message")
-
-    def __init__(self, time, rule, message):
-        self.time = time
-        self.rule = rule
-        self.message = message
-
-    def __repr__(self):
-        return "ProtocolViolation(t=%d, %s: %s)" % (
-            self.time, self.rule, self.message,
-        )
-
-
-class _CycleView:
-    """Committed values of the shared bus signals for one cycle."""
-
-    __slots__ = ("htrans", "haddr", "hwrite", "hsize", "hburst",
-                 "hready", "hresp", "hmaster")
-
-    def __init__(self, bus):
-        self.htrans = bus.htrans.value
-        self.haddr = bus.haddr.value
-        self.hwrite = bus.hwrite.value
-        self.hsize = bus.hsize.value
-        self.hburst = bus.hburst.value
-        self.hready = bus.hready.value
-        self.hresp = bus.hresp.value
-        self.hmaster = bus.hmaster.value
-
-
-class AhbProtocolChecker(Module):
-    """Passive AHB rule monitor.
+class AhbProtocolChecker(ComplianceEngine):
+    """Passive AHB spec-rule monitor.
 
     Parameters
     ----------
@@ -77,139 +28,21 @@ class AhbProtocolChecker(Module):
         The :class:`~repro.amba.bus.AhbBus` to watch.
     strict:
         When ``True``, the first violation raises ``AssertionError``
-        immediately instead of only being recorded.
+        immediately instead of only being recorded.  Assignable after
+        construction (maps onto the engine's severity).
     """
 
     def __init__(self, sim, name, bus, strict=False, parent=None):
-        super().__init__(sim, name, parent=parent)
-        self.bus = bus
-        self.strict = strict
-        self.violations = []
-        self._prev = None
-        self._burst_addr = None
-        self._burst_ctrl = None
-        self._in_burst = False
-        self.cycles_checked = 0
-        self.method(self._on_clk, [bus.clk.posedge], name="check",
-                    initialize=False)
-
-    # -- reporting -----------------------------------------------------
-
-    def _flag(self, rule, message):
-        violation = ProtocolViolation(self.sim.now, rule, message)
-        self.violations.append(violation)
-        if self.strict:
-            raise AssertionError(str(violation))
+        super().__init__(
+            sim, name, bus,
+            severity="raise" if strict else "record",
+            advisory=False, parent=parent,
+        )
 
     @property
-    def ok(self):
-        """True when no violations have been recorded."""
-        return not self.violations
+    def strict(self):
+        return self.severity == "raise"
 
-    # -- per-cycle checks -----------------------------------------------
-
-    def _on_clk(self):
-        bus = self.bus
-        view = _CycleView(bus)
-        self.cycles_checked += 1
-
-        self._check_one_hot_selects()
-        self._check_alignment(view)
-        self._check_response(view)
-        if self._prev is not None:
-            self._check_stability(self._prev, view)
-            self._check_sequencing(self._prev, view)
-        self._prev = view
-
-    def _check_one_hot_selects(self):
-        bus = self.bus
-        sels = [port.hsel.value for port in bus.slave_ports]
-        sels.append(bus.default_slave_port.hsel.value)
-        if sum(1 for sel in sels if sel) != 1:
-            self._flag("hsel-one-hot", "HSEL vector %r is not one-hot" % sels)
-        grants = [port.hgrant.value for port in bus.master_ports]
-        if sum(1 for grant in grants if grant) != 1:
-            self._flag("hgrant-one-hot",
-                       "HGRANT vector %r is not one-hot" % grants)
-
-    def _check_alignment(self, view):
-        if is_active(HTRANS(view.htrans)) and \
-                not aligned(view.haddr, view.hsize):
-            self._flag(
-                "alignment",
-                "address %#x unaligned for HSIZE=%d"
-                % (view.haddr, view.hsize),
-            )
-
-    def _check_response(self, view):
-        if view.hresp != int(HRESP.OKAY) and view.hready:
-            prev = self._prev
-            if prev is None or prev.hready or prev.hresp != view.hresp:
-                self._flag(
-                    "two-cycle-response",
-                    "final %s cycle not preceded by a wait cycle with "
-                    "the same response"
-                    % HRESP(view.hresp).name,
-                )
-
-    def _check_stability(self, prev, view):
-        if prev.hready:
-            return
-        # Bus stalled during the previous cycle: this cycle must present
-        # the same address phase, unless the master cancelled to IDLE
-        # during a non-OKAY response.
-        cancelled = (view.htrans == int(HTRANS.IDLE)
-                     and prev.hresp != int(HRESP.OKAY))
-        if cancelled:
-            return
-        held = (view.htrans == prev.htrans and view.haddr == prev.haddr
-                and view.hwrite == prev.hwrite
-                and view.hsize == prev.hsize
-                and view.hburst == prev.hburst)
-        if not held:
-            self._flag(
-                "stall-stability",
-                "address phase changed while HREADY low "
-                "(HTRANS %d->%d, HADDR %#x->%#x)"
-                % (prev.htrans, view.htrans, prev.haddr, view.haddr),
-            )
-
-    def _check_sequencing(self, prev, view):
-        """Track burst structure across accepted address phases."""
-        if not prev.hready:
-            return  # the previous address phase was not accepted
-        htrans = HTRANS(view.htrans)
-        if htrans == HTRANS.NONSEQ:
-            self._in_burst = True
-            self._burst_addr = view.haddr
-            self._burst_ctrl = (view.hwrite, view.hsize, view.hburst,
-                                view.hmaster)
-        elif htrans == HTRANS.SEQ:
-            if not self._in_burst:
-                self._flag("seq-without-nonseq",
-                           "SEQ transfer with no open burst")
-                return
-            expected = next_burst_address(
-                self._burst_addr, HBURST(self._burst_ctrl[2]),
-                self._burst_ctrl[1],
-            )
-            if view.haddr != expected:
-                self._flag(
-                    "burst-address",
-                    "SEQ address %#x, expected %#x"
-                    % (view.haddr, expected),
-                )
-            ctrl = (view.hwrite, view.hsize, view.hburst, view.hmaster)
-            if ctrl != self._burst_ctrl:
-                self._flag(
-                    "burst-control",
-                    "control changed mid-burst: %r -> %r"
-                    % (self._burst_ctrl, ctrl),
-                )
-            self._burst_addr = view.haddr
-        elif htrans == HTRANS.BUSY:
-            if not self._in_burst:
-                self._flag("busy-outside-burst",
-                           "BUSY transfer with no open burst")
-        else:  # IDLE
-            self._in_burst = False
+    @strict.setter
+    def strict(self, value):
+        self.severity = "raise" if value else "record"

@@ -6,8 +6,11 @@
     python -m repro.cli run table1 --seed 3
     python -m repro.cli run fig5
     python -m repro.cli report --json results.json
-    python -m repro.cli scenario wireless-modem --duration-us 50
-    python -m repro.cli faults --fault always-retry --fault hung-slave
+    python -m repro.cli scenario wireless-modem --duration-us 50 \\
+        --check-protocol raise
+    python -m repro.cli faults --fault always-retry --fault hung-slave \\
+        --record campaign.trace.json
+    python -m repro.cli replay campaign.trace.json --shrink
 
 Every command prints human-readable tables; ``--json`` additionally
 writes machine-readable results.
@@ -21,7 +24,6 @@ import sys
 from .analysis import experiments as _experiments
 from .analysis.export import results_to_json, run_summary
 from .analysis.report import render_report, run_all
-from .kernel import us
 
 #: Experiment name → zero-config runner.
 EXPERIMENTS = {
@@ -81,12 +83,25 @@ def _cmd_report(args):
 def _cmd_scenario(args):
     import json as _json
 
-    from .workloads import build_scenario
-    system = build_scenario(args.name, seed=args.seed)
-    system.run(us(args.duration_us))
+    from .replay import ReplayTrace, RunSpec, execute
+    spec = RunSpec(
+        args.name, seed=args.seed, duration_us=args.duration_us,
+        retry_limit=None, retry_backoff=0, watchdog=False,
+        check_protocol=args.check_protocol,
+    )
+    system, outcome = execute(spec)
+    if outcome.outcome == "crashed":
+        print(outcome.detail, file=sys.stderr)
+        return 1
     system.assert_protocol_clean()
     summary = run_summary(system)
     print(_json.dumps(summary, indent=2, sort_keys=True))
+    if args.record:
+        trace = ReplayTrace()
+        trace.append(spec, outcome)
+        trace.save(args.record)
+        # status note on stderr: stdout stays a single JSON document
+        print("recorded 1 run to %s" % args.record, file=sys.stderr)
     return 0
 
 
@@ -121,13 +136,104 @@ def _cmd_faults(args):
         hready_timeout=args.hready_timeout,
         retry_budget=args.retry_budget,
         recover=not args.no_recover,
+        check_protocol=args.check_protocol,
     )
     print(result.summary().format())
     if args.json:
         with open(args.json, "w") as fh:
             _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
         print("wrote %s" % args.json)
+    if args.record:
+        from .replay import ReplayTrace, campaign_spec, execute
+        trace = ReplayTrace()
+        for run in result.runs:
+            spec = campaign_spec(
+                run.scenario, fault=run.fault, seed=args.seed,
+                duration_us=args.duration_us,
+                slave_index=args.slave_index,
+                trigger_after=args.trigger_after,
+                retry_limit=args.retry_limit,
+                retry_backoff=args.retry_backoff,
+                hready_timeout=args.hready_timeout,
+                retry_budget=args.retry_budget,
+                recover=not args.no_recover,
+                check_protocol=args.check_protocol,
+            )
+            _, outcome = execute(spec)
+            trace.append(spec, outcome)
+        trace.save(args.record)
+        print("recorded %d runs to %s" % (len(trace), args.record))
+    if not result.ok:
+        bad = [run for run in result.runs
+               if run.outcome in ("hung", "crashed")]
+        print("campaign FAILED: %d run(s) ended unrecovered (%s)"
+              % (len(bad),
+                 ", ".join("%s/%s=%s" % (run.scenario, run.fault,
+                                         run.outcome)
+                           for run in bad)),
+              file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_replay(args):
+    import json as _json
+
+    from .replay import ReplayTrace, shrink
+    trace = ReplayTrace.load(args.trace)
+    if not len(trace):
+        print("trace %s holds no runs" % args.trace, file=sys.stderr)
+        return 2
+    index = args.index
+    if index is None:
+        # Default to the first recorded failure, else the first run.
+        index = next((position
+                      for position, (_, outcome) in enumerate(trace)
+                      if outcome.failing), 0)
+    if not 0 <= index < len(trace):
+        print("index %d out of range (trace holds %d runs)"
+              % (index, len(trace)), file=sys.stderr)
+        return 2
+    spec, recorded, actual, match = trace.replay(index)
+    print("replaying run %d: %r" % (index, spec))
+    print("bit-exact: %s" % ("yes" if match else "NO"))
+    if not match:
+        recorded_fp = recorded.fingerprint()
+        actual_fp = actual.fingerprint()
+        for field in sorted(recorded_fp):
+            if recorded_fp[field] != actual_fp[field]:
+                print("  %s: recorded %r, replayed %r"
+                      % (field, recorded_fp[field], actual_fp[field]),
+                      file=sys.stderr)
+    report = {
+        "index": index,
+        "match": match,
+        "recorded": recorded.fingerprint(),
+        "replayed": actual.fingerprint(),
+    }
+    shrunk = None
+    if args.shrink:
+        if not actual.failing:
+            print("run %d is not failing; nothing to shrink" % index,
+                  file=sys.stderr)
+        else:
+            shrunk = shrink(spec)
+            print(shrunk.summary())
+            report["shrink"] = {
+                "executions": shrunk.executions,
+                "steps": shrunk.steps,
+                "minimal_spec": shrunk.spec.to_dict(),
+                "minimal_outcome": shrunk.outcome.fingerprint(),
+            }
+            if args.out:
+                minimal = ReplayTrace()
+                minimal.append(shrunk.spec, shrunk.outcome)
+                minimal.save(args.out)
+                print("wrote minimal reproducer to %s" % args.out)
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+    return 0 if match else 1
 
 
 def build_parser():
@@ -162,6 +268,15 @@ def build_parser():
     scenario_parser.add_argument("--seed", type=int, default=1)
     scenario_parser.add_argument("--duration-us", type=float,
                                  default=50.0)
+    scenario_parser.add_argument(
+        "--check-protocol", choices=("record", "warn", "raise"),
+        default="record",
+        help="compliance-engine severity (raise dies at the first "
+             "violating cycle)")
+    scenario_parser.add_argument(
+        "--record", metavar="PATH",
+        help="write the run's replay trace (spec + outcome "
+             "fingerprint) to PATH")
     scenario_parser.set_defaults(fn=_cmd_scenario)
 
     faults_parser = sub.add_parser(
@@ -198,9 +313,36 @@ def build_parser():
     faults_parser.add_argument("--no-recover", action="store_true",
                                help="detect only, take no recovery "
                                     "action")
+    faults_parser.add_argument(
+        "--check-protocol", choices=("record", "warn", "raise"),
+        default="record",
+        help="compliance-engine severity during campaign runs")
+    faults_parser.add_argument(
+        "--record", metavar="PATH",
+        help="write a replay trace of every campaign run to PATH")
     faults_parser.add_argument("--json",
                                help="also write JSON results")
     faults_parser.set_defaults(fn=_cmd_faults)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-execute a recorded run bit-exactly; optionally "
+             "shrink it to a minimal reproducer")
+    replay_parser.add_argument("trace", help="replay trace JSON file")
+    replay_parser.add_argument(
+        "--index", type=int, default=None,
+        help="which recorded run to replay (default: the first "
+             "failing one)")
+    replay_parser.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug the fault schedule and trim the stimulus "
+             "to a minimal reproducer")
+    replay_parser.add_argument(
+        "--out", metavar="PATH",
+        help="with --shrink: write the minimal reproducer trace")
+    replay_parser.add_argument("--json",
+                               help="also write a JSON report")
+    replay_parser.set_defaults(fn=_cmd_replay)
     return parser
 
 

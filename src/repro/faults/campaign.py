@@ -74,9 +74,10 @@ class FaultRunResult:
 
     def __init__(self, scenario, fault, outcome, completed=0, failed=0,
                  aborted=0, watchdog_events=0, recoveries=0,
-                 violations=0, total_energy=0.0, overhead_energy=0.0,
-                 energy_per_txn=0.0, baseline_energy_per_txn=0.0,
-                 detail=""):
+                 violations=0, rules_tripped=(),
+                 recovery_compliant=True, total_energy=0.0,
+                 overhead_energy=0.0, energy_per_txn=0.0,
+                 baseline_energy_per_txn=0.0, detail=""):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
@@ -86,6 +87,12 @@ class FaultRunResult:
         self.watchdog_events = watchdog_events
         self.recoveries = recoveries
         self.violations = violations
+        #: Compliance-rule ids that fired during the run, in
+        #: first-occurrence order.
+        self.rules_tripped = tuple(rules_tripped)
+        #: True when no *mandatory* rule fired — the injected fault and
+        #: every watchdog recovery action stayed spec-legal traffic.
+        self.recovery_compliant = recovery_compliant
         self.total_energy = total_energy
         self.overhead_energy = overhead_energy
         self.energy_per_txn = energy_per_txn
@@ -110,6 +117,8 @@ class FaultRunResult:
             "watchdog_events": self.watchdog_events,
             "recoveries": self.recoveries,
             "violations": self.violations,
+            "rules_tripped": list(self.rules_tripped),
+            "recovery_compliant": self.recovery_compliant,
             "total_energy_j": self.total_energy,
             "overhead_energy_j": self.overhead_energy,
             "energy_per_txn_j": self.energy_per_txn,
@@ -142,10 +151,13 @@ class CampaignResult:
         """Human-readable campaign report table."""
         table = TextTable([
             "Scenario", "Fault", "Outcome", "OK txns", "Failed",
-            "WD events", "Recoveries", "Fault-cycle energy",
-            "Energy/txn vs baseline",
+            "WD events", "Recoveries", "Rules tripped",
+            "Fault-cycle energy", "Energy/txn vs baseline",
         ])
         for run in self.runs:
+            rules = ", ".join(run.rules_tripped) or "-"
+            if not run.recovery_compliant:
+                rules += " [MANDATORY]"
             table.add_row([
                 run.scenario,
                 run.fault,
@@ -154,6 +166,7 @@ class CampaignResult:
                 run.failed,
                 run.watchdog_events,
                 run.recoveries,
+                rules,
                 format_energy(run.overhead_energy),
                 "%+.1f %%" % (100.0 * run.energy_overhead_ratio),
             ])
@@ -187,7 +200,7 @@ def _classify(system, error_text):
 
 def _run_one(scenario, fault, seed, duration_us, slave_index,
              trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
-             baseline_energy_per_txn):
+             baseline_energy_per_txn, check_protocol="record"):
     overrides = None
     if fault != "none":
         overrides = {slave_index: fault_slave_factory(fault,
@@ -197,6 +210,7 @@ def _run_one(scenario, fault, seed, duration_us, slave_index,
         retry_limit=retry_limit, retry_backoff=retry_backoff,
         slave_overrides=overrides,
         watchdog=True, watchdog_kwargs=watchdog_kwargs,
+        check_protocol=check_protocol,
     )
     error_text = None
     try:
@@ -226,6 +240,10 @@ def _run_one(scenario, fault, seed, duration_us, slave_index,
         recoveries=watchdog.recoveries if watchdog else 0,
         violations=len(system.checker.violations)
         if system.checker else 0,
+        rules_tripped=system.checker.rules_tripped()
+        if system.checker else (),
+        recovery_compliant=system.checker.mandatory_ok
+        if system.checker else True,
         total_energy=total_energy, overhead_energy=overhead,
         energy_per_txn=energy_per_txn,
         baseline_energy_per_txn=baseline_energy_per_txn,
@@ -239,7 +257,8 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                        seed=1, duration_us=20.0, slave_index=0,
                        trigger_after=16, retry_limit=8, retry_backoff=2,
                        hready_timeout=16, retry_budget=6,
-                       split_timeout=64, recover=True):
+                       split_timeout=64, recover=True,
+                       check_protocol="record"):
     """Run every (scenario, fault) combination and report.
 
     Parameters
@@ -255,6 +274,11 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         Watchdog configuration.  The default watchdog ``retry_budget``
         sits below the master ``retry_limit`` so retry storms are cut
         by the watchdog while the master budget remains the backstop.
+    check_protocol:
+        Severity of the per-run compliance engine (default
+        ``"record"``: each result reports which rules tripped and
+        whether recovery stayed spec-compliant without aborting the
+        campaign).
 
     Returns a :class:`CampaignResult`; simulator exceptions inside a
     run are captured as ``crashed`` outcomes, never raised.
@@ -270,7 +294,7 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         baseline = _run_one(
             scenario, "none", seed, duration_us, slave_index,
             trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
-            baseline_energy_per_txn=0.0,
+            baseline_energy_per_txn=0.0, check_protocol=check_protocol,
         )
         baseline.baseline_energy_per_txn = baseline.energy_per_txn
         runs.append(baseline)
@@ -280,5 +304,6 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                 trigger_after, retry_limit, retry_backoff,
                 watchdog_kwargs,
                 baseline_energy_per_txn=baseline.energy_per_txn,
+                check_protocol=check_protocol,
             ))
     return CampaignResult(runs, duration_us)

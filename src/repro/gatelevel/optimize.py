@@ -162,7 +162,6 @@ def optimize(netlist, max_rounds=10):
     for net in netlist.outputs:
         binding = mapping[id(net)]
         out_net = _materialise(result, binding, prefer_name=net.name)
-        extra = net.load_cap if net.driver is None else 0.0
         result.mark_output(out_net,
                            extra_cap=max(0.0, net.capacitance
                                          - out_net.capacitance))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 
-from .gates import AND2, INV, NOR2, OR2
+from .gates import AND2, INV, OR2
 from .netlist import Netlist
 
 #: Extra load on primary outputs (the paper's ``C_O``), farads.

@@ -19,7 +19,16 @@ class DeltaCycleLimitError(SimulationError):
     This almost always indicates a zero-delay combinational feedback
     loop: a set of method processes that keep re-triggering each other
     through signal writes that never reach a fixed point.
+    ``process_names`` lists the processes still runnable in the final
+    delta cycle — the loop's suspects.
     """
+
+    def __init__(self, message, process_names=()):
+        self.process_names = tuple(process_names)
+        if self.process_names:
+            message += "; runnable processes: %s" \
+                % ", ".join(self.process_names)
+        super().__init__(message)
 
 
 class ProcessError(SimulationError):

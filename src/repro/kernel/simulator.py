@@ -174,10 +174,14 @@ class Simulator:
             deltas += 1
             self.delta_count += 1
             if deltas > self.max_delta_cycles:
+                suspects = sorted({process.name
+                                   for process in self._runnable
+                                   if not process.terminated})
                 raise DeltaCycleLimitError(
                     "exceeded %d delta cycles at %s; probable zero-delay "
                     "combinational loop"
-                    % (self.max_delta_cycles, format_time(self.now))
+                    % (self.max_delta_cycles, format_time(self.now)),
+                    process_names=suspects,
                 )
             runnable, self._runnable = self._runnable, []
             for process in runnable:

@@ -119,7 +119,6 @@ def characterize_decoder(n_outputs, vdd=1.8, samples=400, seed=1):
     """
     netlist = synth_one_hot_decoder(n_outputs)
     simulator = GateLevelSimulator(netlist, vdd=vdd)
-    n_in = len(netlist.inputs)
     rng = random.Random(seed)
 
     rows, energies = [], []

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..amba.types import HTRANS
 from ..kernel import VcdTracer
-from ..kernel.vcd_reader import load_vcd, read_vcd
+from ..kernel.vcd_reader import load_vcd
 from .hamming import hamming
 from .instructions import classify_mode
 from .ledger import (

@@ -13,7 +13,6 @@ from __future__ import annotations
 from ..kernel.time import to_seconds
 from .instructions import BusMode, instruction_name
 from .ledger import EnergyLedger
-from .power_trace import TraceSet
 
 
 class PowerFsm:

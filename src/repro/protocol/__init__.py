@@ -1,0 +1,47 @@
+"""Runtime AHB protocol-compliance engine.
+
+The package splits into:
+
+* :mod:`repro.protocol.rules` — the rule catalogue: per-cycle assertion
+  monitors over committed bus signals, each tagged with its AMBA spec
+  rev 2.0 section and a mandatory/advisory tier.
+* :mod:`repro.protocol.engine` — :class:`ComplianceEngine`, the kernel
+  process that drives the rules every clock cycle and turns findings
+  into structured :class:`ProtocolViolation` records with configurable
+  severity (record / warn / raise).
+
+The legacy :class:`repro.amba.AhbProtocolChecker` is a thin facade over
+this engine.
+"""
+
+from .engine import (
+    SEVERITIES,
+    ComplianceEngine,
+    ProtocolComplianceError,
+    ProtocolViolation,
+)
+from .rules import (
+    CATALOGUE,
+    CycleView,
+    Rule,
+    RuleInfo,
+    advisory_rules,
+    is_mandatory,
+    mandatory_rules,
+    rule_info,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "ComplianceEngine",
+    "CycleView",
+    "ProtocolComplianceError",
+    "ProtocolViolation",
+    "Rule",
+    "RuleInfo",
+    "SEVERITIES",
+    "advisory_rules",
+    "is_mandatory",
+    "mandatory_rules",
+    "rule_info",
+]

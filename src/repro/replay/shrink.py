@@ -1,0 +1,188 @@
+"""Greedy delta-debugging of failing runs.
+
+Given a :class:`~repro.replay.trace.RunSpec` whose execution exhibits a
+failure (a protocol violation, a broken containment outcome, a crash),
+the shrinker searches for a *minimal reproducer*:
+
+1. **Fault schedule** — classic ddmin (Zeller's delta debugging) over
+   the list of :class:`~repro.replay.trace.FaultEntry` items: try
+   subsets and their complements at increasing granularity until the
+   schedule is 1-minimal (removing any single remaining fault makes the
+   failure disappear).
+2. **Source traffic** — the stimulus is fully determined by
+   ``duration_us`` (seeded sources replay deterministically), so the
+   traffic is trimmed by repeatedly halving the duration while the
+   failure still reproduces.
+
+"Failure still reproduces" is a predicate over the re-executed
+:class:`~repro.replay.trace.RunOutcome`; the default predicate keys on
+the original failure's signature (same first-violated rule, or the
+same failing outcome class) rather than the full fingerprint, so a
+shrunk run may legitimately fail *earlier*.  Every candidate execution
+is cached by canonical spec identity — ddmin revisits subsets freely
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+from .trace import execute
+
+
+def failure_signature(outcome):
+    """The facet of *outcome* a shrunk reproducer must preserve."""
+    if outcome.first_violation_rule is not None:
+        return ("rule", outcome.first_violation_rule)
+    if not outcome.recovery_compliant:
+        return ("non-compliant",)
+    return ("outcome", outcome.outcome)
+
+
+def default_predicate(original):
+    """``outcome -> bool``: does it reproduce *original*'s failure?"""
+    signature = failure_signature(original)
+    if signature[0] == "rule":
+        rule = signature[1]
+        return lambda outcome: rule in outcome.rules_tripped
+    if signature[0] == "non-compliant":
+        return lambda outcome: not outcome.recovery_compliant
+    failing_outcome = signature[1]
+    return lambda outcome: outcome.outcome == failing_outcome
+
+
+class ShrinkResult:
+    """The minimal reproducer and how it was reached."""
+
+    def __init__(self, spec, outcome, original_outcome, executions,
+                 steps):
+        #: Minimal :class:`RunSpec` still reproducing the failure.
+        self.spec = spec
+        #: Outcome of executing the minimal spec.
+        self.outcome = outcome
+        #: Outcome of the original, unshrunk spec.
+        self.original_outcome = original_outcome
+        #: Number of candidate simulations (cache misses) performed.
+        self.executions = executions
+        #: Human-readable shrink log, one line per accepted reduction.
+        self.steps = list(steps)
+
+    def summary(self):
+        lines = ["shrink: %d candidate runs" % self.executions]
+        lines += ["  " + step for step in self.steps]
+        lines.append("minimal: %r" % self.spec)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ShrinkResult(faults=%d, duration=%.3fus, runs=%d)" % (
+            len(self.spec.faults), self.spec.duration_us,
+            self.executions,
+        )
+
+
+class _Evaluator:
+    """Cached ``spec -> reproduces?`` oracle."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.cache = {}
+        self.executions = 0
+
+    def __call__(self, spec):
+        key = spec.key()
+        if key not in self.cache:
+            self.executions += 1
+            _, outcome = execute(spec)
+            self.cache[key] = (bool(self.predicate(outcome)), outcome)
+        return self.cache[key][0]
+
+    def outcome_of(self, spec):
+        self(spec)
+        return self.cache[spec.key()][1]
+
+
+def _ddmin_faults(spec, evaluate, steps):
+    """1-minimal subset of ``spec.faults`` still reproducing."""
+    faults = list(spec.faults)
+    granularity = 2
+    while len(faults) >= 2:
+        chunk = max(1, len(faults) // granularity)
+        subsets = [faults[index:index + chunk]
+                   for index in range(0, len(faults), chunk)]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            complement = [fault for other in subsets[:index]
+                          for fault in other] \
+                + [fault for other in subsets[index + 1:]
+                   for fault in other]
+            for candidate, label in ((subset, "subset"),
+                                     (complement, "complement")):
+                if not candidate or len(candidate) == len(faults):
+                    continue
+                if evaluate(spec.replace(faults=candidate)):
+                    steps.append(
+                        "faults %d -> %d (kept %s %d/%d)"
+                        % (len(faults), len(candidate), label,
+                           index + 1, len(subsets)))
+                    faults = list(candidate)
+                    granularity = max(2, min(granularity,
+                                             len(faults)))
+                    reduced = True
+                    break
+            if reduced:
+                break
+        if reduced:
+            continue
+        if granularity >= len(faults):
+            break
+        granularity = min(len(faults), granularity * 2)
+    return spec.replace(faults=faults)
+
+
+def _shrink_duration(spec, evaluate, steps, min_duration_us=0.5):
+    """Halve the run duration while the failure still reproduces."""
+    duration = spec.duration_us
+    while duration / 2.0 >= min_duration_us:
+        candidate = spec.replace(duration_us=duration / 2.0)
+        if not evaluate(candidate):
+            break
+        steps.append("duration %.3fus -> %.3fus"
+                     % (duration, duration / 2.0))
+        duration /= 2.0
+        spec = candidate
+    return spec
+
+
+def shrink(spec, predicate=None, min_duration_us=0.5):
+    """Minimise *spec* while its failure keeps reproducing.
+
+    Parameters
+    ----------
+    spec:
+        The failing :class:`~repro.replay.trace.RunSpec`.
+    predicate:
+        ``RunOutcome -> bool`` deciding whether a candidate still
+        reproduces.  Defaults to matching the original run's failure
+        signature (see :func:`failure_signature`).
+    min_duration_us:
+        Floor below which the duration is not halved further.
+
+    Returns a :class:`ShrinkResult`.  Raises ``ValueError`` when the
+    original spec does not satisfy the predicate (nothing to shrink).
+    """
+    _, original = execute(spec)
+    if predicate is None:
+        if not original.failing:
+            raise ValueError(
+                "run is not failing (outcome %r, 0 violations): "
+                "nothing to shrink" % original.outcome)
+        predicate = default_predicate(original)
+    evaluate = _Evaluator(predicate)
+    evaluate.cache[spec.key()] = (bool(predicate(original)), original)
+    if not evaluate(spec):
+        raise ValueError("original spec does not satisfy the predicate")
+
+    steps = []
+    spec = _ddmin_faults(spec, evaluate, steps)
+    spec = _shrink_duration(spec, evaluate, steps,
+                            min_duration_us=min_duration_us)
+    return ShrinkResult(spec, evaluate.outcome_of(spec), original,
+                        evaluate.executions, steps)

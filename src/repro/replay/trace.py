@@ -1,0 +1,371 @@
+"""Deterministic run capture and bit-exact re-execution.
+
+The kernel is a deterministic delta-cycle scheduler and every stimulus
+source draws from a **seeded** RNG, so a run is fully determined by its
+*provenance* — scenario name, seed, duration, resilience knobs and the
+fault schedule — not by a signal log.  :class:`RunSpec` captures that
+provenance as a JSON-able value; :func:`execute` rebuilds the system
+from it and re-runs it on the kernel, reproducing every violation
+cycle and every accumulated joule bit-exactly (Python floats
+round-trip through JSON exactly, and energy accumulates in a fixed
+order).
+
+:class:`RunOutcome` condenses a finished run into a comparable
+fingerprint; :class:`ReplayTrace` stores ``(spec, outcome)`` records in
+a versioned JSON file so a failing campaign run can be shipped in a bug
+report and replayed — or handed to :mod:`repro.replay.shrink` for
+minimisation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..faults.campaign import _classify, fault_slave_factory
+from ..kernel import FaultInjector, us
+from ..workloads import build_scenario
+
+#: Trace file format marker (bump on incompatible schema changes).
+FORMAT = "repro-replay/1"
+
+#: Signal-level fault kinds an entry may carry.
+SIGNAL_KINDS = ("stuck-at", "bit-flip", "glitch")
+
+
+class FaultEntry:
+    """One schedulable fault: a behavioural mode or a signal corruption.
+
+    Behavioural entries name a mode from
+    :data:`repro.faults.FAULT_MODES`, the slave index it replaces and
+    its ``trigger_after`` arming delay.  Signal entries name a bus
+    signal by its :class:`~repro.amba.bus.AhbBus` attribute
+    (``"htrans"``, ``"haddr"`` …) plus the kind-specific parameters of
+    :mod:`repro.kernel.faults`.
+    """
+
+    __slots__ = ("kind", "mode", "slave", "trigger_after", "signal",
+                 "bit", "value", "cycles", "start_ps", "end_ps",
+                 "probability")
+
+    def __init__(self, kind, mode=None, slave=0, trigger_after=0,
+                 signal=None, bit=0, value=0, cycles=1, start_ps=0,
+                 end_ps=None, probability=None):
+        if kind != "behavioural" and kind not in SIGNAL_KINDS:
+            raise ValueError("unknown fault kind %r" % kind)
+        self.kind = kind
+        self.mode = mode
+        self.slave = slave
+        self.trigger_after = trigger_after
+        self.signal = signal
+        self.bit = bit
+        self.value = value
+        self.cycles = cycles
+        self.start_ps = start_ps
+        self.end_ps = end_ps
+        self.probability = probability
+
+    @classmethod
+    def behavioural(cls, mode, slave=0, trigger_after=0):
+        """A broken-component fault (slave replacement)."""
+        return cls("behavioural", mode=mode, slave=slave,
+                   trigger_after=trigger_after)
+
+    @classmethod
+    def signal_fault(cls, kind, signal, bit=0, value=0, cycles=1,
+                     start_ps=0, end_ps=None, probability=None):
+        """A net-level corruption on bus signal attribute *signal*."""
+        return cls(kind, signal=signal, bit=bit, value=value,
+                   cycles=cycles, start_ps=start_ps, end_ps=end_ps,
+                   probability=probability)
+
+    def describe(self):
+        """One-line human-readable label."""
+        if self.kind == "behavioural":
+            return "%s@slave%d(after=%d)" % (self.mode, self.slave,
+                                             self.trigger_after)
+        return "%s@%s[bit=%d]" % (self.kind, self.signal, self.bit)
+
+    def to_dict(self):
+        data = {"kind": self.kind}
+        if self.kind == "behavioural":
+            data.update(mode=self.mode, slave=self.slave,
+                        trigger_after=self.trigger_after)
+        else:
+            data.update(signal=self.signal, bit=self.bit,
+                        value=self.value, cycles=self.cycles,
+                        start_ps=self.start_ps, end_ps=self.end_ps,
+                        probability=self.probability)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    def __repr__(self):
+        return "FaultEntry(%s)" % self.describe()
+
+
+class RunSpec:
+    """The full provenance of one run — everything needed to rebuild
+    and re-execute it bit-exactly on the kernel."""
+
+    __slots__ = ("scenario", "seed", "duration_us", "faults",
+                 "retry_limit", "retry_backoff", "watchdog",
+                 "watchdog_kwargs", "check_protocol", "protocol_kwargs",
+                 "injector_seed")
+
+    def __init__(self, scenario, seed=1, duration_us=20.0, faults=(),
+                 retry_limit=8, retry_backoff=2, watchdog=True,
+                 watchdog_kwargs=None, check_protocol="record",
+                 protocol_kwargs=None, injector_seed=0):
+        self.scenario = scenario
+        self.seed = seed
+        self.duration_us = duration_us
+        self.faults = [fault if isinstance(fault, FaultEntry)
+                       else FaultEntry.from_dict(fault)
+                       for fault in faults]
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self.watchdog = watchdog
+        self.watchdog_kwargs = dict(watchdog_kwargs or {})
+        self.check_protocol = check_protocol
+        self.protocol_kwargs = dict(protocol_kwargs or {})
+        self.injector_seed = injector_seed
+
+    def replace(self, **changes):
+        """A copy of this spec with *changes* applied (shrinker steps)."""
+        data = self.to_dict()
+        data.pop("format", None)
+        data.update(changes)
+        return RunSpec(**data)
+
+    def key(self):
+        """Canonical string identity (shrinker evaluation cache)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def to_dict(self):
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration_us": self.duration_us,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "retry_limit": self.retry_limit,
+            "retry_backoff": self.retry_backoff,
+            "watchdog": self.watchdog,
+            "watchdog_kwargs": dict(self.watchdog_kwargs),
+            "check_protocol": self.check_protocol,
+            "protocol_kwargs": dict(self.protocol_kwargs),
+            "injector_seed": self.injector_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{key: value for key, value in data.items()
+                      if key in cls.__slots__})
+
+    def __repr__(self):
+        return "RunSpec(%s, seed=%d, %.1fus, faults=[%s])" % (
+            self.scenario, self.seed, self.duration_us,
+            ", ".join(fault.describe() for fault in self.faults),
+        )
+
+
+class RunOutcome:
+    """Comparable fingerprint of one executed run.
+
+    Two runs of the same :class:`RunSpec` produce equal fingerprints —
+    including the cycle index of the first protocol violation and the
+    exact energy totals — which is the replay layer's bit-exactness
+    contract.
+    """
+
+    FIELDS = ("outcome", "completed", "failed", "aborted",
+              "watchdog_events", "recoveries", "violations",
+              "first_violation_rule", "first_violation_cycle",
+              "rules_tripped", "recovery_compliant", "total_energy_j",
+              "overhead_energy_j", "detail")
+
+    def __init__(self, **fields):
+        for name in self.FIELDS:
+            setattr(self, name, fields.get(name))
+        self.rules_tripped = list(self.rules_tripped or [])
+
+    @classmethod
+    def of(cls, system, error_text=None):
+        """Fingerprint a finished (or dead) system."""
+        checker = system.checker
+        watchdog = system.watchdog
+        ledger = system.ledger
+        first = checker.first_violation if checker else None
+        return cls(
+            outcome=_classify(system, error_text),
+            completed=system.transactions_completed(),
+            failed=system.transactions_failed(),
+            aborted=sum(master.aborted_transactions
+                        for master in system.masters),
+            watchdog_events=len(watchdog.events) if watchdog else 0,
+            recoveries=watchdog.recoveries if watchdog else 0,
+            violations=len(checker.violations) if checker else 0,
+            first_violation_rule=first.rule if first else None,
+            first_violation_cycle=first.cycle if first else None,
+            rules_tripped=list(checker.rules_tripped())
+            if checker else [],
+            recovery_compliant=checker.mandatory_ok
+            if checker else True,
+            total_energy_j=ledger.total_energy if ledger else 0.0,
+            overhead_energy_j=ledger.overhead_energy if ledger else 0.0,
+            detail=error_text or "",
+        )
+
+    @property
+    def failing(self):
+        """True when the run is worth reproducing: it violated the
+        protocol, broke containment, or crashed the simulator."""
+        return (self.violations > 0
+                or not self.recovery_compliant
+                or self.outcome in ("hung", "crashed"))
+
+    def fingerprint(self):
+        """The comparable dict (also the JSON representation)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other):
+        if not isinstance(other, RunOutcome):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        return equal if equal is NotImplemented else not equal
+
+    def __repr__(self):
+        return "RunOutcome(%s, violations=%d, first=%s@%s)" % (
+            self.outcome, self.violations, self.first_violation_rule,
+            self.first_violation_cycle,
+        )
+
+
+def execute(spec):
+    """Re-execute *spec* on the kernel; return ``(system, outcome)``.
+
+    Simulator exceptions are contained into the outcome (``crashed``),
+    mirroring the campaign runner, so the shrinker can minimise crashes
+    too.
+    """
+    overrides = {}
+    for fault in spec.faults:
+        if fault.kind == "behavioural":
+            overrides[fault.slave] = fault_slave_factory(
+                fault.mode, fault.trigger_after)
+    system = build_scenario(
+        spec.scenario, seed=spec.seed,
+        retry_limit=spec.retry_limit,
+        retry_backoff=spec.retry_backoff,
+        slave_overrides=overrides or None,
+        watchdog=spec.watchdog,
+        watchdog_kwargs=dict(spec.watchdog_kwargs),
+        check_protocol=spec.check_protocol,
+        protocol_kwargs=dict(spec.protocol_kwargs),
+    )
+    signal_faults = [fault for fault in spec.faults
+                     if fault.kind != "behavioural"]
+    if signal_faults:
+        injector = FaultInjector(system.sim, system.clk,
+                                 seed=spec.injector_seed)
+        for fault in signal_faults:
+            target = getattr(system.bus, fault.signal)
+            window = {"start": fault.start_ps, "end": fault.end_ps,
+                      "probability": fault.probability}
+            if fault.kind == "stuck-at":
+                injector.stuck_at(target, fault.bit,
+                                  stuck_value=fault.value, **window)
+            elif fault.kind == "bit-flip":
+                injector.bit_flip(target, fault.bit, **window)
+            else:
+                injector.glitch(target, fault.value,
+                                cycles=fault.cycles, **window)
+    error_text = None
+    try:
+        system.run(us(spec.duration_us))
+    except Exception as exc:  # contain — the fingerprint is the product
+        error_text = "%s: %s" % (type(exc).__name__, exc)
+    return system, RunOutcome.of(system, error_text)
+
+
+def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,
+                  slave_index=0, trigger_after=16, retry_limit=8,
+                  retry_backoff=2, hready_timeout=16, retry_budget=6,
+                  split_timeout=64, recover=True,
+                  check_protocol="record"):
+    """The :class:`RunSpec` of one campaign run — same parameters and
+    defaults as :func:`repro.faults.run_fault_campaign`, so a recorded
+    campaign cell re-executes identically."""
+    faults = []
+    if fault != "none":
+        faults.append(FaultEntry.behavioural(fault, slave_index,
+                                             trigger_after))
+    return RunSpec(
+        scenario, seed=seed, duration_us=duration_us, faults=faults,
+        retry_limit=retry_limit, retry_backoff=retry_backoff,
+        watchdog=True,
+        watchdog_kwargs={
+            "hready_timeout": hready_timeout,
+            "retry_budget": retry_budget,
+            "split_timeout": split_timeout,
+            "recover": recover,
+        },
+        check_protocol=check_protocol,
+    )
+
+
+class ReplayTrace:
+    """A versioned JSON file of ``(spec, recorded outcome)`` records."""
+
+    def __init__(self, records=None):
+        self.records = list(records or [])
+
+    def append(self, spec, outcome):
+        """Record one executed run."""
+        self.records.append((spec, outcome))
+
+    def __len__(self):
+        return len(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def replay(self, index=0):
+        """Re-execute record *index*; return
+        ``(spec, recorded, actual, match)`` where *match* is the
+        bit-exact fingerprint comparison."""
+        spec, recorded = self.records[index]
+        _, actual = execute(spec)
+        return spec, recorded, actual, actual == recorded
+
+    def to_dict(self):
+        return {
+            "format": FORMAT,
+            "runs": [{"spec": spec.to_dict(),
+                      "outcome": outcome.fingerprint()}
+                     for spec, outcome in self.records],
+        }
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("format") != FORMAT:
+            raise ValueError("not a %s trace (format=%r)"
+                             % (FORMAT, data.get("format")))
+        return cls(
+            (RunSpec.from_dict(record["spec"]),
+             RunOutcome(**record["outcome"]))
+            for record in data["runs"]
+        )
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -15,13 +15,13 @@ from ..amba import (
     AhbBus,
     AhbConfig,
     AhbMaster,
-    AhbProtocolChecker,
     AhbWatchdog,
     Arbitration,
     DefaultMaster,
     MemorySlave,
 )
 from ..kernel import Clock, MHz, Simulator
+from ..protocol import ComplianceEngine
 from ..power import (
     GlobalPowerMonitor,
     LocalPowerMonitor,
@@ -57,7 +57,17 @@ class AhbSystem:
     with_traces:
         Record per-block power traces (global style only).
     checker:
-        Attach an :class:`~repro.amba.AhbProtocolChecker`.
+        Attach a :class:`~repro.protocol.ComplianceEngine` watching the
+        bus (the full rule catalogue, advisory liveness bounds
+        included).
+    check_protocol:
+        Engine severity: ``"record"`` (default — collect violations
+        for post-run inspection), ``"warn"`` or ``"raise"`` (die at
+        the first violating cycle).
+    protocol_kwargs:
+        Extra keyword arguments forwarded to the engine
+        (``advisory``, ``wait_limit``, ``retry_limit``,
+        ``split_limit``, ``severity_overrides``, ``rules``).
     retry_limit, retry_backoff:
         Resilience knobs forwarded to every active
         :class:`~repro.amba.AhbMaster` (bounded retry budget and
@@ -81,6 +91,7 @@ class AhbSystem:
                  power_analysis=True, monitor_style="global",
                  instruction_energies=None, params=PAPER_TECHNOLOGY,
                  with_traces=False, datafile=None, checker=True,
+                 check_protocol="record", protocol_kwargs=None,
                  retry_limit=None, retry_backoff=0,
                  slave_overrides=None, watchdog=False,
                  watchdog_kwargs=None):
@@ -128,7 +139,10 @@ class AhbSystem:
 
         self.checker = None
         if checker:
-            self.checker = AhbProtocolChecker(self.sim, "checker", self.bus)
+            self.checker = ComplianceEngine(
+                self.sim, "checker", self.bus, severity=check_protocol,
+                **(protocol_kwargs or {})
+            )
 
         self.watchdog = None
         if watchdog:
@@ -184,11 +198,9 @@ class AhbSystem:
         return self.monitor.total_energy
 
     def assert_protocol_clean(self):
-        """Raise if the protocol checker recorded any violation."""
-        if self.checker is not None and not self.checker.ok:
-            raise AssertionError(
-                "protocol violations: %r" % self.checker.violations[:5]
-            )
+        """Raise if the compliance engine recorded any violation."""
+        if self.checker is not None:
+            self.checker.raise_if_violations()
 
     def transactions_completed(self):
         """Total transactions completed across the active masters."""

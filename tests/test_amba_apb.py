@@ -26,7 +26,7 @@ def apb_system():
     bus = AhbBus(sim, "ahb", clk, config)
     master = AhbMaster(sim, "m0", clk, bus.master_ports[0], bus)
     DefaultMaster(sim, "dm", clk, bus.master_ports[1], bus)
-    ram = MemorySlave(sim, "ram", clk, bus.slave_ports[0], bus)
+    MemorySlave(sim, "ram", clk, bus.slave_ports[0], bus)
     bridge = ApbBridge(sim, "bridge", clk, bus.slave_ports[1], bus,
                        apb_map=[(0x000, 0x100), (0x100, 0x100)],
                        offset_mask=0xFFF)

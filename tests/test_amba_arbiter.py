@@ -1,7 +1,6 @@
 """Arbitration behaviour tests."""
 
 from repro.amba import AhbTransaction
-from repro.kernel import us
 from tests.conftest import SmallSystem
 
 

@@ -145,7 +145,7 @@ class TestClockDomains:
     @pytest.mark.parametrize("downstream_mhz", [50, 100, 200])
     def test_cross_frequency_bridging(self, downstream_mhz):
         sys = TwoSegmentSystem(downstream_mhz=downstream_mhz)
-        write = sys.cpu.enqueue(
+        sys.cpu.enqueue(
             AhbTransaction.write_single(SYS_REGION + 0x20, 0x55))
         read = sys.cpu.enqueue(
             AhbTransaction.read(SYS_REGION + 0x20))

@@ -1,7 +1,6 @@
 """Integration tests: transfers through the assembled bus."""
 
 from repro.amba import AhbTransaction, HBURST, HSIZE
-from repro.kernel import us
 
 
 class TestSingleTransfers:
@@ -64,8 +63,8 @@ class TestBursts:
     def test_wrap8_burst(self, small_system):
         sys = small_system
         data = list(range(101, 109))
-        write = sys.m0.enqueue(AhbTransaction(True, 0x30, data=data,
-                                              hburst=HBURST.WRAP8))
+        sys.m0.enqueue(AhbTransaction(True, 0x30, data=data,
+                                      hburst=HBURST.WRAP8))
         read = sys.m0.enqueue(AhbTransaction(False, 0x30,
                                              hburst=HBURST.WRAP8))
         sys.run_us(2)
@@ -77,8 +76,8 @@ class TestBursts:
     def test_incr_undefined_length(self, small_system):
         sys = small_system
         data = list(range(1, 12))
-        write = sys.m0.enqueue(AhbTransaction(True, 0x200, data=data,
-                                              hburst=HBURST.INCR))
+        sys.m0.enqueue(AhbTransaction(True, 0x200, data=data,
+                                      hburst=HBURST.INCR))
         read = sys.m0.enqueue(AhbTransaction(False, 0x200,
                                              hburst=HBURST.INCR,
                                              beats=len(data)))
@@ -114,7 +113,7 @@ class TestBursts:
 class TestWaitStates:
     def test_wait_states_slow_but_preserve_data(self, small_system_waits):
         sys = small_system_waits
-        write = sys.m0.enqueue(AhbTransaction.write_single(0x1040, 0x77))
+        sys.m0.enqueue(AhbTransaction.write_single(0x1040, 0x77))
         read = sys.m0.enqueue(AhbTransaction.read(0x1040))
         sys.run_us(3)
         sys.assert_clean()

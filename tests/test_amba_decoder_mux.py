@@ -1,7 +1,6 @@
 """Decoder and multiplexer behaviour tests."""
 
 from repro.amba import AhbTransaction, HTRANS
-from repro.kernel import us
 
 
 class TestDecoder:

@@ -7,7 +7,7 @@ shift in the experiments.
 """
 
 from repro.amba import AhbTransaction, HBURST
-from repro.kernel import ns, us
+from repro.kernel import ns
 from tests.conftest import SmallSystem
 
 CYCLE = 10_000  # 100 MHz in ps

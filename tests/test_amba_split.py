@@ -1,6 +1,5 @@
 """SPLIT transfer tests (AMBA rev 2.0 §3.12)."""
 
-import pytest
 
 from repro.amba import (
     AhbBus,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.amba import AhbTransaction
 from repro.kernel import us
-from tests.conftest import SmallSystem
 
 
 def tdma_system(slot_cycles=8):

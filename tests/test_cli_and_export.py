@@ -8,7 +8,6 @@ import pytest
 from repro.analysis.export import (
     ledger_to_csv,
     ledger_to_rows,
-    result_to_dict,
     results_to_json,
     run_summary,
     traces_to_csv,

@@ -223,6 +223,88 @@ class TestBoundedRetryMaster:
         assert sys.m0.aborted_transactions == 0
 
 
+class TestBackToBackFaults:
+    """Recovery robustness when a second fault lands while the
+    watchdog's forced two-cycle ERROR is still in flight."""
+
+    def test_second_stall_during_forced_error_recovery(self):
+        # Both masters target the hung slave.  While the watchdog's
+        # forced two-cycle ERROR is completing m0's stalled transfer,
+        # m1's address phase to the same dead slave is already
+        # pipelined — the second hang begins during the forced ERROR
+        # and needs its own detection window and recovery.
+        sys = FaultySystem(HangSlave, trigger_after=0,
+                           hready_timeout=8)
+        first = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        second = sys.m1.enqueue(AhbTransaction.write_single(0x20, 2))
+        after = sys.m0.enqueue(AhbTransaction.write_single(0x1010, 3))
+        sys.run_us(5)
+        assert sys.watchdog.stall_events >= 2
+        assert sys.watchdog.recoveries >= 2
+        assert first.done and first.error
+        assert second.done and second.error
+        # the bus survived both overlapping episodes
+        assert after.done and not after.error
+        assert sys.slaves[1].peek(0x10) == 3
+
+    def test_back_to_back_recoveries_stay_protocol_clean(self):
+        sys = FaultySystem(HangSlave, trigger_after=0,
+                           hready_timeout=8)
+        sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.m1.enqueue(AhbTransaction.write_single(0x20, 2))
+        sys.run_us(5)
+        assert sys.bus.s2m_mux.forced_errors >= 2
+        assert sys.checker.ok, sys.checker.violations[:5]
+
+
+class TestRetryBackoffTiming:
+    def test_backoff_cycle_count_is_exact(self):
+        # Every rewound RETRY inserts exactly `retry_backoff` idle
+        # cycles; with retry_limit=L the master rewinds L times before
+        # the (L+1)th RETRY aborts the transaction.
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=4, retry_backoff=3,
+                           retry_budget=10_000)
+        txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        sys.run_us(5)
+        assert txn.done and txn.error
+        assert txn.retries == 5
+        assert sys.m0.backoff_cycles == 4 * 3
+
+    def test_backoff_delays_the_final_abort(self):
+        def abort_time(backoff):
+            sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                               retry_limit=4, retry_backoff=backoff,
+                               retry_budget=10_000)
+            txn = sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+            cycle_ps = 10_000  # 100 MHz
+            for _ in range(1000):
+                sys.sim.run(until=sys.sim.now + cycle_ps)
+                if txn.done:
+                    return sys.sim.now
+            raise AssertionError("transaction never completed")
+
+        fast = abort_time(0)
+        slow = abort_time(3)
+        # 4 rewinds x 3 idle cycles, minus the re-arbitration cycle
+        # each rewind pays anyway: at least 2 net extra cycles per
+        # rewind (8 cycles x 10 ns at 100 MHz).
+        assert slow >= fast + 8 * 10_000
+
+    def test_backoff_releases_the_bus_to_the_other_master(self):
+        # While m0 backs off between retries, m1 must make progress
+        # on the healthy slave instead of waiting behind the storm.
+        sys = FaultySystem(AlwaysRetrySlave, trigger_after=0,
+                           retry_limit=8, retry_backoff=4,
+                           retry_budget=10_000)
+        sys.m0.enqueue(AhbTransaction.write_single(0x10, 1))
+        healthy = sys.m1.enqueue(
+            AhbTransaction.write_single(0x1010, 7))
+        sys.run_us(2)
+        assert healthy.done and not healthy.error
+        assert sys.slaves[1].peek(0x10) == 7
+
+
 class TestAbortCurrent:
     def test_abort_current_without_transaction_returns_none(self):
         sys = FaultySystem(MemorySlave)

@@ -103,7 +103,7 @@ class TestLevelise:
         gate_out = nl.add_cell(AND2, [a, loop_net])
         loop_net.driver = gate_out.driver  # bogus wiring
         nl.cells.append(nl.cells[0])  # ensure loop net never ready
-        back = nl.add_cell(INV, [gate_out])
+        nl.add_cell(INV, [gate_out])
         # rewire: loop_net is driven by `back`
         nl.cells[-1].output = loop_net
         nl._levelised = None

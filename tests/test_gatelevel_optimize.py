@@ -19,7 +19,6 @@ from repro.gatelevel import (
     synth_one_hot_decoder,
     synth_priority_arbiter,
 )
-from repro.gatelevel.equivalence import check_sequential
 from repro.gatelevel.optimize import (
     OptimizationReport,
     optimize,

@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 from repro.gatelevel import (
     AND2,
     GateLevelSimulator,
-    INV,
     Netlist,
     XOR2,
     int_to_bits,

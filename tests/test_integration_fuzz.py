@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.amba import AhbTransaction, HBURST, HSIZE, size_bytes
-from repro.kernel import us
 from tests.conftest import SmallSystem
 
 REGION = 0x1000

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Event, Signal, SimulationError, Simulator, ns
+from repro.kernel import Signal, SimulationError, Simulator, ns
 
 
 class TestEventNotify:

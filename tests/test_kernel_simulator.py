@@ -35,16 +35,25 @@ class TestDeltaCycles:
         a = Signal(sim, "a")
         b = Signal(sim, "b")
         # a = not b; b = not a with no stable point given init values.
-        sim.add_method(lambda: a.write(1 - b.value), [b])
-        sim.add_method(lambda: b.write(a.value), [a])
+        sim.add_method(lambda: a.write(1 - b.value), [b],
+                       name="inv_loop")
+        sim.add_method(lambda: b.write(a.value), [a], name="buf_loop")
 
         def kick():
             yield ns(1)
             a.write(1 - a.value)
 
         sim.add_thread(kick)
-        with pytest.raises(DeltaCycleLimitError):
+        with pytest.raises(DeltaCycleLimitError) as exc_info:
             sim.run()
+        # the error names the processes still runnable in the final
+        # delta cycle, so the loop can be found without a debugger.
+        error = exc_info.value
+        # the two loop halves alternate, so whichever half was about
+        # to run is the one reported -- never the innocent kicker.
+        assert error.process_names
+        assert set(error.process_names) <= {"inv_loop", "buf_loop"}
+        assert "runnable processes" in str(error)
 
     def test_all_processes_in_delta_see_same_snapshot(self):
         sim = Simulator()

@@ -1,6 +1,5 @@
 """Coverage of assorted public surfaces not exercised elsewhere."""
 
-import pytest
 
 from repro.analysis.report import render_report, run_all
 from repro.kernel import us

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.amba import AhbTransaction
-from repro.kernel import us
 from repro.power import GlobalPowerMonitor
 from tests.conftest import SmallSystem
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Clock, MHz, Simulator, us
+from repro.kernel import us
 from repro.power import (
     ClockGateController,
     GlobalPowerMonitor,
@@ -58,12 +58,6 @@ class TestClockGateController:
         assert lagged <= samples.count((0, 1)) + 10
 
     def test_threshold_validation(self):
-        sim = Simulator()
-        clk = Clock.from_frequency(sim, "clk", MHz(100))
-
-        class FakeBus:
-            pass
-
         with pytest.raises(ValueError):
             system, _, _ = bursty_system(idle_threshold=0)
 

@@ -1,6 +1,5 @@
 """Macromodel unit tests: formulas, monotonicity, validation."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -9,9 +9,6 @@ from repro.power import (
     BLOCK_DEC,
     BLOCK_M2S,
     BLOCK_S2M,
-    DecoderEnergyModel,
-    GlobalPowerMonitor,
-    MuxEnergyModel,
     PAPER_TECHNOLOGY,
 )
 from repro.workloads import AhbSystem, ReplaySource

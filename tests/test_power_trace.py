@@ -1,6 +1,5 @@
 """Power trace windowing tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -7,8 +7,7 @@ data integrity and energy-accounting conservation.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.amba import AhbTransaction, HBURST, HSIZE
-from repro.kernel import us
+from repro.amba import AhbTransaction, HBURST
 from repro.power import GlobalPowerMonitor
 from tests.conftest import SmallSystem
 

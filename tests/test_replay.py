@@ -1,0 +1,235 @@
+"""Deterministic record/replay and the failure shrinker."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import run_fault_campaign
+from repro.replay import (
+    FORMAT,
+    FaultEntry,
+    ReplayTrace,
+    RunOutcome,
+    RunSpec,
+    campaign_spec,
+    execute,
+    failure_signature,
+    shrink,
+)
+
+QUICK = dict(duration_us=5.0)
+
+
+def retry_spec(**overrides):
+    """A small failing run: always-RETRY slave under the campaign
+    resilience stack (trips the retry-livelock rule)."""
+    params = dict(QUICK)
+    params.update(overrides)
+    return campaign_spec("portable-audio-player", fault="always-retry",
+                         **params)
+
+
+def padded_spec():
+    """The failing run plus three no-op signal faults (their windows
+    open long after the run ends)."""
+    spec = retry_spec()
+    far = 10**12
+    spec.faults += [
+        FaultEntry.signal_fault("glitch", "hwdata", value=0xDEAD,
+                                start_ps=far),
+        FaultEntry.signal_fault("bit-flip", "haddr", bit=2,
+                                start_ps=far, end_ps=far + 1000),
+        FaultEntry.signal_fault("stuck-at", "htrans", bit=0,
+                                start_ps=far, end_ps=far + 1000),
+    ]
+    return spec
+
+
+class TestSpecSerde:
+    def test_spec_round_trips_through_json(self):
+        spec = padded_spec()
+        clone = RunSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone.key() == spec.key()
+        assert [f.describe() for f in clone.faults] \
+            == [f.describe() for f in spec.faults]
+
+    def test_replace_produces_independent_copy(self):
+        spec = retry_spec()
+        shorter = spec.replace(duration_us=1.0)
+        assert shorter.duration_us == 1.0
+        assert spec.duration_us == QUICK["duration_us"]
+        assert shorter.scenario == spec.scenario
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEntry("cosmic-ray")
+
+    def test_trace_format_is_versioned(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other/9", "runs": []}))
+        with pytest.raises(ValueError, match=FORMAT):
+            ReplayTrace.load(str(path))
+
+
+class TestBitExactReplay:
+    def test_same_spec_reproduces_identical_fingerprint(self):
+        spec = retry_spec()
+        _, first = execute(spec)
+        _, second = execute(spec)
+        assert first.failing
+        assert first == second
+        # the acceptance contract, spelled out:
+        assert first.first_violation_cycle \
+            == second.first_violation_cycle
+        assert first.total_energy_j == second.total_energy_j
+
+    def test_trace_round_trip_replays_bit_exactly(self, tmp_path):
+        spec = retry_spec()
+        _, outcome = execute(spec)
+        trace = ReplayTrace()
+        trace.append(spec, outcome)
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        loaded = ReplayTrace.load(path)
+        assert len(loaded) == 1
+        _, recorded, actual, match = loaded.replay(0)
+        assert match
+        assert recorded.fingerprint() == actual.fingerprint()
+
+    def test_campaign_spec_mirrors_campaign_runner(self):
+        result = run_fault_campaign(
+            scenarios=("portable-audio-player",),
+            faults=("always-retry",), **QUICK)
+        cell = [run for run in result.runs
+                if run.fault == "always-retry"][0]
+        _, outcome = execute(retry_spec())
+        assert outcome.outcome == cell.outcome
+        assert outcome.completed == cell.completed
+        assert outcome.failed == cell.failed
+        assert outcome.total_energy_j == cell.total_energy
+        assert tuple(outcome.rules_tripped) == cell.rules_tripped
+
+    def test_signal_faults_replay_deterministically(self):
+        spec = retry_spec()
+        spec.faults.append(FaultEntry.signal_fault(
+            "bit-flip", "haddr", bit=4, probability=0.01,
+            start_ps=0))
+        _, first = execute(spec)
+        _, second = execute(spec)
+        assert first == second  # seeded injector RNG
+
+    def test_outcome_failing_classification(self):
+        healthy = RunOutcome(outcome="completed", violations=0,
+                             recovery_compliant=True)
+        assert not healthy.failing
+        assert RunOutcome(outcome="hung", violations=0,
+                          recovery_compliant=True).failing
+        assert RunOutcome(outcome="completed", violations=3,
+                          recovery_compliant=True).failing
+        assert RunOutcome(outcome="completed", violations=0,
+                          recovery_compliant=False).failing
+
+
+class TestShrinker:
+    def test_multi_fault_schedule_shrinks_to_minimal_reproducer(self):
+        result = shrink(padded_spec())
+        # acceptance: a multi-fault schedule reduces to <= 2 faults
+        # (here: exactly the one fault that causes the failure).
+        assert len(result.spec.faults) <= 2
+        assert result.spec.faults[0].mode == "always-retry"
+        assert "retry-livelock" in result.outcome.rules_tripped
+        assert result.spec.duration_us < QUICK["duration_us"]
+        assert result.executions >= 1
+        assert any("faults" in step for step in result.steps)
+        assert "minimal" in result.summary()
+
+    def test_shrink_is_1_minimal_over_faults(self):
+        result = shrink(padded_spec())
+        # removing the last remaining fault must kill the failure
+        empty = result.spec.replace(faults=[])
+        _, outcome = execute(empty)
+        assert "retry-livelock" not in outcome.rules_tripped
+
+    def test_shrink_rejects_healthy_runs(self):
+        healthy = campaign_spec("portable-audio-player", fault="none",
+                                **QUICK)
+        with pytest.raises(ValueError, match="not failing"):
+            shrink(healthy)
+
+    def test_failure_signature_prefers_violated_rule(self):
+        assert failure_signature(RunOutcome(
+            first_violation_rule="wait-limit",
+            recovery_compliant=True, outcome="recovered",
+        )) == ("rule", "wait-limit")
+        assert failure_signature(RunOutcome(
+            first_violation_rule=None, recovery_compliant=False,
+            outcome="recovered",
+        )) == ("non-compliant",)
+        assert failure_signature(RunOutcome(
+            first_violation_rule=None, recovery_compliant=True,
+            outcome="hung",
+        )) == ("outcome", "hung")
+
+    def test_custom_predicate_drives_the_search(self):
+        # shrink against outcome classification instead of rules
+        result = shrink(retry_spec(),
+                        predicate=lambda o: o.outcome == "recovered")
+        assert result.outcome.outcome == "recovered"
+
+
+class TestCli:
+    def test_faults_record_then_replay_round_trip(self, tmp_path):
+        trace_path = str(tmp_path / "campaign.json")
+        code = main(["faults", "--scenario", "portable-audio-player",
+                     "--fault", "always-retry", "--duration-us", "5",
+                     "--record", trace_path])
+        assert code == 0
+        assert len(ReplayTrace.load(trace_path)) == 2
+        assert main(["replay", trace_path]) == 0
+
+    def test_replay_shrink_writes_minimal_trace(self, tmp_path,
+                                                capsys):
+        trace_path = str(tmp_path / "campaign.json")
+        out_path = str(tmp_path / "minimal.json")
+        main(["faults", "--scenario", "portable-audio-player",
+              "--fault", "always-retry", "--duration-us", "5",
+              "--record", trace_path])
+        code = main(["replay", trace_path, "--shrink",
+                     "--out", out_path,
+                     "--json", str(tmp_path / "report.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-exact: yes" in out
+        minimal = ReplayTrace.load(out_path)
+        assert len(minimal) == 1
+        spec, outcome = minimal[0]
+        assert len(spec.faults) <= 2
+        report = json.loads(
+            (tmp_path / "report.json").read_text())
+        assert report["match"] is True
+        assert report["shrink"]["minimal_spec"]["faults"]
+
+    def test_replay_rejects_bad_index(self, tmp_path):
+        trace_path = str(tmp_path / "one.json")
+        main(["scenario", "portable-audio-player", "--duration-us",
+              "2", "--record", trace_path])
+        assert main(["replay", trace_path, "--index", "7"]) == 2
+
+    def test_scenario_check_protocol_raise_stays_clean(self, capsys):
+        code = main(["scenario", "wireless-modem", "--duration-us",
+                     "5", "--check-protocol", "raise"])
+        assert code == 0
+        assert '"transactions"' in capsys.readouterr().out
+
+    def test_unrecovered_campaign_exits_nonzero(self, capsys):
+        # detection without recovery leaves the hung slave hung: the
+        # CI gate must see a non-zero exit and a stderr diagnosis.
+        code = main(["faults", "--scenario", "portable-audio-player",
+                     "--fault", "hung-slave", "--duration-us", "5",
+                     "--no-recover"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "campaign FAILED" in err
+        assert "hung-slave" in err
