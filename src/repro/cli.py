@@ -10,6 +10,10 @@
         --check-protocol raise
     python -m repro.cli faults --fault always-retry --fault hung-slave \\
         --record campaign.trace.json
+    python -m repro.cli faults --jobs 4 --timeout 30 \\
+        --journal campaign.jsonl
+    python -m repro.cli faults --jobs 4 --timeout 30 \\
+        --journal campaign.jsonl --resume
     python -m repro.cli replay campaign.trace.json --shrink
 
 Every command prints human-readable tables; ``--json`` additionally
@@ -126,6 +130,9 @@ def _cmd_faults(args):
                   % (scenario, ", ".join(sorted(SCENARIOS))),
                   file=sys.stderr)
             return 2
+    if args.resume and not args.journal:
+        print("--resume needs --journal PATH", file=sys.stderr)
+        return 2
     result = run_fault_campaign(
         scenarios=tuple(args.scenario), faults=tuple(args.fault),
         seed=args.seed, duration_us=args.duration_us,
@@ -137,35 +144,38 @@ def _cmd_faults(args):
         retry_budget=args.retry_budget,
         recover=not args.no_recover,
         check_protocol=args.check_protocol,
+        jobs=args.jobs, timeout=args.timeout,
+        journal=args.journal, resume=args.resume,
     )
     print(result.summary().format())
+    if result.resumed:
+        print("resumed: %d run(s) restored from %s"
+              % (result.resumed, args.journal), file=sys.stderr)
+    if result.degraded:
+        print("pool degraded: repeated worker failures; remaining "
+              "runs executed in-process", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as fh:
             _json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
         print("wrote %s" % args.json)
     if args.record:
-        from .replay import ReplayTrace, campaign_spec, execute
+        from .replay import ReplayTrace, RunOutcome, RunSpec
         trace = ReplayTrace()
         for run in result.runs:
-            spec = campaign_spec(
-                run.scenario, fault=run.fault, seed=args.seed,
-                duration_us=args.duration_us,
-                slave_index=args.slave_index,
-                trigger_after=args.trigger_after,
-                retry_limit=args.retry_limit,
-                retry_backoff=args.retry_backoff,
-                hready_timeout=args.hready_timeout,
-                retry_budget=args.retry_budget,
-                recover=not args.no_recover,
-                check_protocol=args.check_protocol,
-            )
-            _, outcome = execute(spec)
-            trace.append(spec, outcome)
+            if run.spec is None or run.fingerprint is None:
+                continue
+            trace.append(RunSpec.from_dict(run.spec),
+                         RunOutcome(**run.fingerprint))
         trace.save(args.record)
         print("recorded %d runs to %s" % (len(trace), args.record))
+    if result.interrupted:
+        print("campaign INTERRUPTED: journal flushed%s"
+              % ("; finish it with --resume --journal %s"
+                 % args.journal if args.journal else ""),
+              file=sys.stderr)
+        return 130
     if not result.ok:
-        bad = [run for run in result.runs
-               if run.outcome in ("hung", "crashed")]
+        bad = result.failures
         print("campaign FAILED: %d run(s) ended unrecovered (%s)"
               % (len(bad),
                  ", ".join("%s/%s=%s" % (run.scenario, run.fault,
@@ -322,6 +332,22 @@ def build_parser():
         help="write a replay trace of every campaign run to PATH")
     faults_parser.add_argument("--json",
                                help="also write JSON results")
+    faults_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the supervised executor "
+             "(default 1: in-process serial execution)")
+    faults_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock deadline; a run over budget is "
+             "classified 'timeout' (its worker is killed if hung)")
+    faults_parser.add_argument(
+        "--journal", metavar="PATH",
+        help="append-only JSONL journal of the campaign (crash/"
+             "quarantine RunSpec artefacts are written next to it)")
+    faults_parser.add_argument(
+        "--resume", action="store_true",
+        help="load --journal first: skip completed runs, re-dispatch "
+             "in-flight ones")
     faults_parser.set_defaults(fn=_cmd_faults)
 
     replay_parser = sub.add_parser(

@@ -1,0 +1,38 @@
+"""Supervised campaign execution.
+
+Process-isolated, deadline-enforced, journalled execution of campaign
+``RunSpec``s: a pool of disposable workers (:mod:`repro.exec.worker`),
+a supervisor with bounded retries, quarantine and graceful degradation
+(:mod:`repro.exec.executor`), and an append-only JSONL journal that
+makes any interrupted campaign resumable (:mod:`repro.exec.journal`).
+"""
+
+from .executor import (
+    CampaignExecutor,
+    ExecutionReport,
+    ExecutorConfig,
+    execute_campaign,
+)
+from .journal import (
+    FORMAT,
+    CampaignJournal,
+    JournalError,
+    JournalState,
+    load_journal,
+)
+from .worker import WORKER_ENV_FLAG, execute_payload, worker_main
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignJournal",
+    "ExecutionReport",
+    "ExecutorConfig",
+    "FORMAT",
+    "JournalError",
+    "JournalState",
+    "WORKER_ENV_FLAG",
+    "execute_campaign",
+    "execute_payload",
+    "load_journal",
+    "worker_main",
+]

@@ -1,0 +1,155 @@
+"""Append-only JSONL campaign journal.
+
+Every supervised-executor state change — campaign start, run dispatch,
+attempt failure, final per-run result, quarantine, interrupt — is one
+JSON object per line, flushed to disk as it happens.  Because the file
+is strictly append-only, an interrupted campaign (crash, OOM-kill,
+SIGINT) leaves at worst one truncated trailing line; :func:`load_journal`
+tolerates that and reconstructs exactly which runs completed (skip on
+resume), which were in flight (re-dispatch) and how many attempts each
+run has already burned (quarantine accounting survives restarts).
+
+Event vocabulary::
+
+    {"event": "campaign", "format": ..., "config": {...}, "runs": [...]}
+    {"event": "resume", "completed": N, "pending": [...]}
+    {"event": "dispatch", "run": ID, "attempt": N, "worker": PID|null}
+    {"event": "attempt-failed", "run": ID, "attempt": N,
+     "reason": "timeout"|"worker-crashed", "detail": ...}
+    {"event": "result", "run": ID, "result": {...}}
+    {"event": "quarantine", "run": ID, "artefact": PATH}
+    {"event": "interrupted", "phase": "drain"|"abort"}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Journal format marker (bump on incompatible schema changes).
+FORMAT = "repro-exec-journal/1"
+
+
+class JournalError(ValueError):
+    """The journal file is unusable (interior corruption, wrong format,
+    or it records a different campaign than the one being resumed)."""
+
+
+class JournalState:
+    """What a loaded journal says about a past campaign execution."""
+
+    def __init__(self):
+        #: The ``campaign`` header record (None for an empty file).
+        self.header = None
+        #: run id -> final result dict (these runs are done; skip them).
+        self.results = {}
+        #: run id -> failed attempts burned so far.
+        self.attempts = {}
+        #: run ids that were dispatched but never produced a result —
+        #: in flight when the campaign died; re-dispatch them.
+        self.in_flight = set()
+        #: run id -> quarantine artefact path.
+        self.quarantined = {}
+        #: True when the tail of the file was truncated mid-line and
+        #: dropped (normal after a hard kill; worth surfacing).
+        self.truncated_tail = False
+
+    @property
+    def completed(self):
+        """Run ids that need no re-execution."""
+        return set(self.results)
+
+    def apply(self, record):
+        """Fold one journal record into the state."""
+        event = record.get("event")
+        run_id = record.get("run")
+        if event == "campaign":
+            self.header = record
+        elif event == "dispatch":
+            self.in_flight.add(run_id)
+        elif event == "attempt-failed":
+            self.attempts[run_id] = self.attempts.get(run_id, 0) + 1
+            self.in_flight.discard(run_id)
+        elif event == "result":
+            self.results[run_id] = record["result"]
+            self.in_flight.discard(run_id)
+        elif event == "quarantine":
+            self.quarantined[run_id] = record.get("artefact")
+        # "resume" / "interrupted" markers carry no replayable state
+
+
+def load_journal(path):
+    """Parse *path* tolerantly into a :class:`JournalState`.
+
+    A corrupt or truncated **trailing** line (the normal signature of a
+    campaign killed mid-write) is dropped with ``truncated_tail`` set;
+    corruption anywhere else raises :class:`JournalError`, since it
+    means the file was edited or the filesystem lost already-flushed
+    data — resuming from it silently could repeat completed runs.
+    """
+    state = JournalState()
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if index == last:
+                state.truncated_tail = True
+                break
+            raise JournalError(
+                "corrupt journal line %d in %s (only the trailing "
+                "line may be truncated)" % (index + 1, path)
+            ) from None
+        state.apply(record)
+    header = state.header
+    if lines and header is None:
+        raise JournalError("%s has no campaign header record" % path)
+    if header is not None and header.get("format") != FORMAT:
+        raise JournalError(
+            "%s is not a %s journal (format=%r)"
+            % (path, FORMAT, header.get("format")))
+    return state
+
+
+class CampaignJournal:
+    """Writer half: append records, one flushed JSON line each."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = None
+
+    def open(self, header=None, resume=False):
+        """Open for writing; truncates unless *resume*.  *header* is
+        the campaign config record appended to a fresh journal."""
+        self._fh = open(self.path, "a" if resume else "w")
+        if not resume and header is not None:
+            record = {"event": "campaign", "format": FORMAT}
+            record.update(header)
+            self.append(record)
+        return self
+
+    def append(self, record):
+        """Write one record and push it to the OS immediately — the
+        journal's value is exactly what survives a hard kill."""
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,107 @@
+"""Worker-process side of the supervised campaign executor.
+
+A worker is a plain loop around the replay layer's
+:func:`repro.replay.execute`: receive one serialized
+:class:`~repro.replay.RunSpec` payload, execute it, post the condensed
+result dict back.  Everything stateful — deadlines, retries,
+quarantine, the journal — lives in the supervisor; a worker can be
+killed at any instant without losing more than its current run.
+
+Liveness is reported out-of-band: a daemon thread stamps a shared
+``multiprocessing.Value`` with ``time.monotonic()`` every
+``heartbeat_interval`` seconds, so the supervisor can tell a worker
+that is *slow* (heart still beating — leave it to the deadline) from
+one that is *frozen* at the C level (heart stopped — kill it).
+
+The environment variable ``REPRO_EXEC_WORKER`` is set to ``1`` inside
+every worker process, giving test hooks (and crash handlers) a way to
+behave differently in a disposable worker than in the supervisor.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+
+#: Set to "1" in every worker process.
+WORKER_ENV_FLAG = "REPRO_EXEC_WORKER"
+
+
+def execute_payload(payload, wall_clock_budget=None):
+    """Execute one serialized campaign run; return the result dict.
+
+    This is the single execution path shared by the serial executor,
+    the degraded fallback and the worker pool, which is what makes
+    serial and parallel campaigns bit-identical per run: the payload's
+    ``RunSpec`` fully determines the simulation, and this function adds
+    only host-side bookkeeping (wall time) on top.
+    """
+    from ..faults.campaign import result_from_execution
+    from ..replay import RunSpec, execute
+
+    spec = RunSpec.from_dict(payload["spec"])
+    start = time.monotonic()
+    system, outcome = execute(spec, wall_clock_budget=wall_clock_budget)
+    result = result_from_execution(
+        payload["scenario"], payload["fault"], system, outcome,
+        spec=spec, wall_time_s=time.monotonic() - start,
+    )
+    return result.to_dict()
+
+
+def worker_main(worker_id, task_queue, result_queue, heartbeat,
+                timeout, heartbeat_interval):
+    """Process entry point: serve tasks until the ``None`` sentinel.
+
+    Messages posted on *result_queue* (all tuples tagged by kind):
+
+    * ``("pickup", worker_id, run_id)`` — run accepted, clock started;
+    * ``("done", worker_id, run_id, result_dict)`` — run finished
+      (including contained ``crashed``/``timeout`` outcomes);
+    * ``("error", worker_id, run_id, traceback_text)`` — the execution
+      machinery itself raised (infrastructure failure, not a simulated
+      one);
+    * ``("exit", worker_id, None)`` — clean shutdown after sentinel.
+    """
+    os.environ[WORKER_ENV_FLAG] = "1"
+    # The supervisor owns interrupt policy; a worker must survive the
+    # terminal's process-group SIGINT so it can be drained gracefully.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+
+    stop = threading.Event()
+
+    def beat():
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(heartbeat_interval)
+
+    pacemaker = threading.Thread(target=beat, name="heartbeat",
+                                 daemon=True)
+    pacemaker.start()
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            run_id, payload = task
+            result_queue.put(("pickup", worker_id, run_id))
+            try:
+                result = execute_payload(payload,
+                                         wall_clock_budget=timeout)
+            except BaseException:
+                result_queue.put(("error", worker_id, run_id,
+                                  traceback.format_exc()))
+            else:
+                result_queue.put(("done", worker_id, run_id, result))
+    finally:
+        stop.set()
+        try:
+            result_queue.put(("exit", worker_id, None))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass

@@ -19,10 +19,16 @@ from ..kernel.faults import (
     StuckAtFault,
 )
 from .campaign import (
+    CONTAINED_OUTCOMES,
+    FAILURE_OUTCOMES,
     FAULT_MODES,
     CampaignResult,
+    CampaignRun,
     FaultRunResult,
+    derive_run_seed,
+    enumerate_campaign,
     fault_slave_factory,
+    result_from_execution,
     run_fault_campaign,
 )
 from .modes import (
@@ -36,7 +42,10 @@ __all__ = [
     "AlwaysRetrySlave",
     "BabblingMaster",
     "BitFlipFault",
+    "CONTAINED_OUTCOMES",
     "CampaignResult",
+    "CampaignRun",
+    "FAILURE_OUTCOMES",
     "FAULT_MODES",
     "FaultInjector",
     "FaultRunResult",
@@ -45,6 +54,9 @@ __all__ = [
     "SignalFault",
     "StuckAtFault",
     "UnreleasedSplitSlave",
+    "derive_run_seed",
+    "enumerate_campaign",
     "fault_slave_factory",
+    "result_from_execution",
     "run_fault_campaign",
 ]

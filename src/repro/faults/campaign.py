@@ -27,16 +27,39 @@ Outcomes
     recovery succeeded — what a system without the watchdog would be
     left with.
 ``crashed``
-    The simulator raised; the exception text is captured in the result
-    instead of propagating out of the campaign.
+    The simulator raised; the exception text (plus full traceback and
+    a replayable :class:`~repro.replay.RunSpec`) is captured in the
+    result instead of propagating out of the campaign.
+``timeout``
+    The run exceeded its wall-clock deadline: the kernel's cooperative
+    budget expired (in-process execution) or the supervisor killed a
+    worker that blew through its deadline (parallel execution).
+``worker-crashed``
+    The worker process executing the run died unexpectedly (segfault,
+    OOM-kill) and the executor could not or would not retry it.
+``quarantined``
+    The run killed its worker repeatedly; instead of retrying forever
+    its shrink-ready ``RunSpec`` was written to disk and the run was
+    set aside so the rest of the campaign could finish.
+
+The last three outcomes are produced by the supervised executor in
+:mod:`repro.exec`; plain serial campaigns can still yield ``timeout``
+via the kernel's cooperative wall-clock budget.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 from ..analysis.tables import TextTable, format_energy
-from ..kernel import us
-from ..workloads.scenarios import build_scenario
 from .modes import AlwaysRetrySlave, HangSlave, UnreleasedSplitSlave
+
+#: Outcomes that mean the resilience stack contained the fault.
+CONTAINED_OUTCOMES = ("completed", "recovered", "degraded")
+
+#: Outcomes that gate a campaign (CLI exits non-zero on any of them).
+FAILURE_OUTCOMES = ("hung", "crashed", "timeout", "worker-crashed",
+                    "quarantined")
 
 #: Behavioural fault modes a campaign can inject, name → slave class.
 #: Every class accepts ``trigger_after`` plus the stock
@@ -69,6 +92,36 @@ def fault_slave_factory(mode, trigger_after=0):
     return factory
 
 
+def derive_run_seed(base_seed, scenario, fault, slave_index=0):
+    """Deterministic per-run seed for one campaign cell.
+
+    Derived by hashing ``(base_seed, scenario, fault, slave_index)``
+    (SHA-256, so it is stable across processes and interpreter
+    ``PYTHONHASHSEED`` values) instead of sharing one seed positionally
+    across the campaign: every run's stimulus is then a function of its
+    own identity, and campaign results are invariant under parallel,
+    reordered or resumed execution.
+    """
+    tag = "%r|%s|%s|%d" % (base_seed, scenario, fault, slave_index)
+    digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFF_FFFF
+
+
+class CampaignRun:
+    """One enumerated campaign cell: identity plus its ``RunSpec``."""
+
+    __slots__ = ("run_id", "scenario", "fault", "spec")
+
+    def __init__(self, run_id, scenario, fault, spec):
+        self.run_id = run_id
+        self.scenario = scenario
+        self.fault = fault
+        self.spec = spec
+
+    def __repr__(self):
+        return "CampaignRun(%s)" % self.run_id
+
+
 class FaultRunResult:
     """Outcome and metrics of one (scenario, fault mode) run."""
 
@@ -77,7 +130,9 @@ class FaultRunResult:
                  violations=0, rules_tripped=(),
                  recovery_compliant=True, total_energy=0.0,
                  overhead_energy=0.0, energy_per_txn=0.0,
-                 baseline_energy_per_txn=0.0, detail=""):
+                 baseline_energy_per_txn=0.0, detail="",
+                 traceback=None, spec=None, fingerprint=None,
+                 attempts=1, wall_time_s=0.0):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
@@ -98,6 +153,24 @@ class FaultRunResult:
         self.energy_per_txn = energy_per_txn
         self.baseline_energy_per_txn = baseline_energy_per_txn
         self.detail = detail
+        #: Full traceback of a ``crashed`` run (None otherwise).
+        self.traceback = traceback
+        #: The run's :class:`~repro.replay.RunSpec` as a dict, so the
+        #: result alone is enough to re-execute or shrink the run.
+        self.spec = spec
+        #: The run's :class:`~repro.replay.RunOutcome` fingerprint
+        #: dict (None for runs that never produced one, e.g.
+        #: ``quarantined``).
+        self.fingerprint = fingerprint
+        #: Dispatch attempts the supervised executor spent on the run.
+        self.attempts = attempts
+        #: Host wall-clock seconds the (final) attempt took.
+        self.wall_time_s = wall_time_s
+
+    @property
+    def run_id(self):
+        """Stable campaign-wide identity of this cell."""
+        return "%s/%s" % (self.scenario, self.fault)
 
     @property
     def energy_overhead_ratio(self):
@@ -125,7 +198,35 @@ class FaultRunResult:
             "baseline_energy_per_txn_j": self.baseline_energy_per_txn,
             "energy_overhead_ratio": self.energy_overhead_ratio,
             "detail": self.detail,
+            "traceback": self.traceback,
+            "spec": self.spec,
+            "fingerprint": self.fingerprint,
+            "attempts": self.attempts,
+            "wall_time_s": self.wall_time_s,
         }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a result from :meth:`to_dict` output (journal
+        resume path).  Unknown keys are ignored for forward
+        compatibility."""
+        renames = {
+            "total_energy_j": "total_energy",
+            "overhead_energy_j": "overhead_energy",
+            "energy_per_txn_j": "energy_per_txn",
+            "baseline_energy_per_txn_j": "baseline_energy_per_txn",
+        }
+        known = ("scenario", "fault", "outcome", "completed", "failed",
+                 "aborted", "watchdog_events", "recoveries",
+                 "violations", "rules_tripped", "recovery_compliant",
+                 "detail", "traceback", "spec", "fingerprint",
+                 "attempts", "wall_time_s")
+        kwargs = {}
+        for key, value in data.items():
+            key = renames.get(key, key)
+            if key in known or key in renames.values():
+                kwargs[key] = value
+        return cls(**kwargs)
 
     def __repr__(self):
         return "FaultRunResult(%s/%s: %s)" % (
@@ -136,16 +237,39 @@ class FaultRunResult:
 class CampaignResult:
     """All runs of one campaign, with a renderable report."""
 
-    def __init__(self, runs, duration_us):
+    def __init__(self, runs, duration_us, jobs=1, wall_time_s=0.0,
+                 interrupted=False, resumed=0, degraded=False,
+                 journal=None):
         self.runs = list(runs)
         self.duration_us = duration_us
+        #: Worker processes the campaign was dispatched across.
+        self.jobs = jobs
+        #: Host wall-clock seconds the whole campaign took.
+        self.wall_time_s = wall_time_s
+        #: True when the campaign was stopped early (SIGINT drain).
+        self.interrupted = interrupted
+        #: Runs restored from a journal instead of executed.
+        self.resumed = resumed
+        #: True when repeated pool failure forced the executor back to
+        #: in-process serial execution.
+        self.degraded = degraded
+        #: Path of the campaign journal, if one was written.
+        self.journal = journal
 
     @property
     def ok(self):
-        """True when every faulted run ended contained (no hang or
-        crash escaped the resilience stack)."""
-        return all(run.outcome in ("completed", "recovered", "degraded")
-                   for run in self.runs)
+        """True when every run ended contained (no hang, crash,
+        deadline blow-through or quarantine escaped the resilience
+        stack) and the campaign was not interrupted."""
+        return (not self.interrupted
+                and all(run.outcome in CONTAINED_OUTCOMES
+                        for run in self.runs))
+
+    @property
+    def failures(self):
+        """Runs whose outcome gates the campaign."""
+        return [run for run in self.runs
+                if run.outcome in FAILURE_OUTCOMES]
 
     def summary(self):
         """Human-readable campaign report table."""
@@ -176,12 +300,19 @@ class CampaignResult:
         return {
             "duration_us": self.duration_us,
             "ok": self.ok,
+            "jobs": self.jobs,
+            "wall_time_s": self.wall_time_s,
+            "interrupted": self.interrupted,
+            "resumed": self.resumed,
+            "degraded": self.degraded,
             "runs": [run.to_dict() for run in self.runs],
         }
 
 
-def _classify(system, error_text):
+def _classify(system, error_text, timed_out=False):
     """Map a finished (or dead) system to a campaign outcome."""
+    if timed_out:
+        return "timeout"
     if error_text is not None:
         return "crashed"
     watchdog = system.watchdog
@@ -198,57 +329,76 @@ def _classify(system, error_text):
     return "completed"
 
 
-def _run_one(scenario, fault, seed, duration_us, slave_index,
-             trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
-             baseline_energy_per_txn, check_protocol="record"):
-    overrides = None
-    if fault != "none":
-        overrides = {slave_index: fault_slave_factory(fault,
-                                                      trigger_after)}
-    system = build_scenario(
-        scenario, seed=seed,
-        retry_limit=retry_limit, retry_backoff=retry_backoff,
-        slave_overrides=overrides,
-        watchdog=True, watchdog_kwargs=watchdog_kwargs,
-        check_protocol=check_protocol,
-    )
-    error_text = None
-    try:
-        system.run(us(duration_us))
-    except Exception as exc:  # contain — the report is the product
-        error_text = "%s: %s" % (type(exc).__name__, exc)
-
-    completed = system.transactions_completed()
-    failed = system.transactions_failed()
-    aborted = sum(master.aborted_transactions
-                  for master in system.masters)
-    ledger = system.ledger
-    total_energy = ledger.total_energy if ledger is not None else 0.0
-    overhead = ledger.overhead_energy if ledger is not None else 0.0
-    ok_txns = completed - failed
+def result_from_execution(scenario, fault, system, outcome, spec=None,
+                          wall_time_s=0.0, attempts=1):
+    """Condense one executed ``(system, RunOutcome)`` pair into a
+    :class:`FaultRunResult` (``baseline_energy_per_txn`` is filled in
+    by the campaign assembly once the scenario baseline is known)."""
+    ok_txns = (outcome.completed or 0) - (outcome.failed or 0)
+    total_energy = outcome.total_energy_j or 0.0
     energy_per_txn = total_energy / ok_txns if ok_txns else 0.0
-
-    watchdog = system.watchdog
-    detail = error_text or "; ".join(
+    watchdog = system.watchdog if system is not None else None
+    detail = outcome.detail or "; ".join(
         event.rule for event in (watchdog.events if watchdog else [])[:4]
     )
     return FaultRunResult(
-        scenario=scenario, fault=fault,
-        outcome=_classify(system, error_text),
-        completed=completed, failed=failed, aborted=aborted,
-        watchdog_events=len(watchdog.events) if watchdog else 0,
-        recoveries=watchdog.recoveries if watchdog else 0,
-        violations=len(system.checker.violations)
-        if system.checker else 0,
-        rules_tripped=system.checker.rules_tripped()
-        if system.checker else (),
-        recovery_compliant=system.checker.mandatory_ok
-        if system.checker else True,
-        total_energy=total_energy, overhead_energy=overhead,
+        scenario=scenario, fault=fault, outcome=outcome.outcome,
+        completed=outcome.completed or 0, failed=outcome.failed or 0,
+        aborted=outcome.aborted or 0,
+        watchdog_events=outcome.watchdog_events or 0,
+        recoveries=outcome.recoveries or 0,
+        violations=outcome.violations or 0,
+        rules_tripped=tuple(outcome.rules_tripped or ()),
+        recovery_compliant=bool(outcome.recovery_compliant),
+        total_energy=total_energy,
+        overhead_energy=outcome.overhead_energy_j or 0.0,
         energy_per_txn=energy_per_txn,
-        baseline_energy_per_txn=baseline_energy_per_txn,
         detail=detail,
+        traceback=getattr(outcome, "traceback_text", None),
+        spec=spec.to_dict() if spec is not None else None,
+        fingerprint=outcome.fingerprint(),
+        attempts=attempts, wall_time_s=wall_time_s,
     )
+
+
+def enumerate_campaign(scenarios, faults, seed=1, duration_us=20.0,
+                       slave_index=0, trigger_after=16, retry_limit=8,
+                       retry_backoff=2, hready_timeout=16,
+                       retry_budget=6, split_timeout=64, recover=True,
+                       check_protocol="record"):
+    """Enumerate every campaign cell as a :class:`CampaignRun`.
+
+    Each cell (the per-scenario fault-free baseline plus one run per
+    fault mode) gets its own :func:`derive_run_seed`-derived seed and a
+    fully self-contained :class:`~repro.replay.RunSpec`, so any
+    executor — serial, process pool, or a resumed journal — produces
+    bit-identical per-run results in any dispatch order.
+    """
+    from ..replay import campaign_spec  # deferred: replay imports us
+    from ..workloads.scenarios import SCENARIOS
+
+    runs = []
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            # fail at enumeration time, not as N "crashed" runs later
+            raise KeyError(
+                "unknown scenario %r (available: %s)"
+                % (scenario, ", ".join(sorted(SCENARIOS))))
+        for fault in ("none",) + tuple(fault for fault in faults
+                                       if fault != "none"):
+            spec = campaign_spec(
+                scenario, fault=fault,
+                seed=derive_run_seed(seed, scenario, fault, slave_index),
+                duration_us=duration_us, slave_index=slave_index,
+                trigger_after=trigger_after, retry_limit=retry_limit,
+                retry_backoff=retry_backoff,
+                hready_timeout=hready_timeout,
+                retry_budget=retry_budget, split_timeout=split_timeout,
+                recover=recover, check_protocol=check_protocol,
+            )
+            runs.append(CampaignRun("%s/%s" % (scenario, fault),
+                                    scenario, fault, spec))
+    return runs
 
 
 def run_fault_campaign(scenarios=("portable-audio-player",
@@ -258,7 +408,9 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                        trigger_after=16, retry_limit=8, retry_backoff=2,
                        hready_timeout=16, retry_budget=6,
                        split_timeout=64, recover=True,
-                       check_protocol="record"):
+                       check_protocol="record", jobs=1, timeout=None,
+                       journal=None, resume=False,
+                       executor_config=None):
     """Run every (scenario, fault) combination and report.
 
     Parameters
@@ -279,31 +431,45 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         ``"record"``: each result reports which rules tripped and
         whether recovery stayed spec-compliant without aborting the
         campaign).
+    jobs, timeout, journal, resume:
+        Supervised-executor knobs (see :mod:`repro.exec`): worker
+        process count (1 = in-process serial), per-run wall-clock
+        deadline in host seconds, append-only JSONL journal path, and
+        whether to skip runs already journalled as complete.
+    executor_config:
+        A pre-built :class:`repro.exec.ExecutorConfig`; overrides the
+        four knobs above.
 
-    Returns a :class:`CampaignResult`; simulator exceptions inside a
-    run are captured as ``crashed`` outcomes, never raised.
+    Returns a :class:`CampaignResult`; per-run failures (simulator
+    exceptions, deadline blow-throughs, dead or hung workers) are
+    captured as run outcomes, never raised.
     """
-    watchdog_kwargs = {
-        "hready_timeout": hready_timeout,
-        "retry_budget": retry_budget,
-        "split_timeout": split_timeout,
-        "recover": recover,
-    }
-    runs = []
-    for scenario in scenarios:
-        baseline = _run_one(
-            scenario, "none", seed, duration_us, slave_index,
-            trigger_after, retry_limit, retry_backoff, watchdog_kwargs,
-            baseline_energy_per_txn=0.0, check_protocol=check_protocol,
-        )
-        baseline.baseline_energy_per_txn = baseline.energy_per_txn
-        runs.append(baseline)
-        for fault in faults:
-            runs.append(_run_one(
-                scenario, fault, seed, duration_us, slave_index,
-                trigger_after, retry_limit, retry_backoff,
-                watchdog_kwargs,
-                baseline_energy_per_txn=baseline.energy_per_txn,
-                check_protocol=check_protocol,
-            ))
-    return CampaignResult(runs, duration_us)
+    from ..exec import ExecutorConfig, execute_campaign
+
+    runs = enumerate_campaign(
+        scenarios, faults, seed=seed, duration_us=duration_us,
+        slave_index=slave_index, trigger_after=trigger_after,
+        retry_limit=retry_limit, retry_backoff=retry_backoff,
+        hready_timeout=hready_timeout, retry_budget=retry_budget,
+        split_timeout=split_timeout, recover=recover,
+        check_protocol=check_protocol,
+    )
+    config = executor_config
+    if config is None:
+        config = ExecutorConfig(jobs=jobs, timeout=timeout,
+                                journal=journal, resume=resume)
+    report = execute_campaign(runs, config)
+    ordered = [report.results[run.run_id] for run in runs
+               if run.run_id in report.results]
+    baselines = {result.scenario: result for result in ordered
+                 if result.fault == "none"}
+    for result in ordered:
+        baseline = baselines.get(result.scenario)
+        if baseline is not None:
+            result.baseline_energy_per_txn = baseline.energy_per_txn
+    return CampaignResult(
+        ordered, duration_us, jobs=config.jobs,
+        wall_time_s=report.wall_time_s, interrupted=report.interrupted,
+        resumed=report.resumed, degraded=report.degraded,
+        journal=config.journal,
+    )

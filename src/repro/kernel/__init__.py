@@ -20,6 +20,7 @@ from .errors import (
     ProcessError,
     SimulationError,
     TracingError,
+    WallClockDeadlineError,
 )
 from .events import Event, MethodProcess, ThreadProcess
 from .faults import (
@@ -76,6 +77,7 @@ __all__ = [
     "Simulator",
     "ThreadProcess",
     "TracingError",
+    "WallClockDeadlineError",
     "VcdFile",
     "VcdParseError",
     "VcdSignal",

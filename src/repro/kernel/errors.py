@@ -43,6 +43,28 @@ class ProcessError(SimulationError):
         self.original = original
 
 
+class WallClockDeadlineError(SimulationError):
+    """The run exceeded its host wall-clock budget.
+
+    Raised cooperatively by :meth:`Simulator.run` between time steps
+    when a ``wall_clock_budget`` was given, so a supervised run that is
+    making kernel progress — just too slowly — can be classified as a
+    timeout without killing the hosting process.  ``elapsed`` and
+    ``budget`` are host seconds; ``sim_time`` is the kernel time
+    reached when the budget expired.
+    """
+
+    def __init__(self, elapsed, budget, sim_time):
+        self.elapsed = elapsed
+        self.budget = budget
+        self.sim_time = sim_time
+        super().__init__(
+            "wall-clock budget exhausted: %.3f s elapsed against a "
+            "%.3f s budget (simulated time reached: %d ps)"
+            % (elapsed, budget, sim_time)
+        )
+
+
 class ElaborationError(KernelError):
     """The model is structurally invalid (bad binding, duplicate names, ...)."""
 

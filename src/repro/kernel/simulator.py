@@ -19,8 +19,14 @@ sequence number.
 from __future__ import annotations
 
 import heapq
+import time as _time
 
-from .errors import DeltaCycleLimitError, ProcessError, SimulationError
+from .errors import (
+    DeltaCycleLimitError,
+    ProcessError,
+    SimulationError,
+    WallClockDeadlineError,
+)
 from .events import Event, MethodProcess, ThreadProcess
 from .time import format_time
 
@@ -124,7 +130,8 @@ class Simulator:
         delta boundary (usable from inside processes)."""
         self._stop_requested = True
 
-    def run(self, until=None, max_time_steps=None):
+    def run(self, until=None, max_time_steps=None,
+            wall_clock_budget=None):
         """Advance the simulation.
 
         Parameters
@@ -137,6 +144,11 @@ class Simulator:
         max_time_steps:
             Optional cap on the number of distinct time points
             processed, as an extra runaway guard for tests.
+        wall_clock_budget:
+            Optional host wall-clock budget in seconds.  Checked
+            cooperatively between time steps; exceeding it raises
+            :class:`WallClockDeadlineError` so supervised runs honour
+            per-run deadlines even without process isolation.
 
         Returns the kernel time at which the run stopped.
         """
@@ -145,11 +157,18 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         steps = 0
+        wall_start = (_time.monotonic()
+                      if wall_clock_budget is not None else None)
         try:
             while True:
                 self._settle_deltas()
                 if self._stop_requested:
                     break
+                if wall_start is not None:
+                    elapsed = _time.monotonic() - wall_start
+                    if elapsed > wall_clock_budget:
+                        raise WallClockDeadlineError(
+                            elapsed, wall_clock_budget, self.now)
                 if not self._timed:
                     break
                 next_time = self._timed[0][0]

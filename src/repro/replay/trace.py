@@ -20,9 +20,10 @@ minimisation.
 from __future__ import annotations
 
 import json
+import traceback as _traceback
 
 from ..faults.campaign import _classify, fault_slave_factory
-from ..kernel import FaultInjector, us
+from ..kernel import FaultInjector, WallClockDeadlineError, us
 from ..workloads import build_scenario
 
 #: Trace file format marker (bump on incompatible schema changes).
@@ -190,15 +191,19 @@ class RunOutcome:
             setattr(self, name, fields.get(name))
         self.rules_tripped = list(self.rules_tripped or [])
 
+    #: Full traceback of a ``crashed`` run (outside the fingerprint so
+    #: bit-exact comparisons stay path/line-number independent).
+    traceback_text = None
+
     @classmethod
-    def of(cls, system, error_text=None):
+    def of(cls, system, error_text=None, timed_out=False):
         """Fingerprint a finished (or dead) system."""
         checker = system.checker
         watchdog = system.watchdog
         ledger = system.ledger
         first = checker.first_violation if checker else None
         return cls(
-            outcome=_classify(system, error_text),
+            outcome=_classify(system, error_text, timed_out=timed_out),
             completed=system.transactions_completed(),
             failed=system.transactions_failed(),
             aborted=sum(master.aborted_transactions
@@ -245,51 +250,76 @@ class RunOutcome:
         )
 
 
-def execute(spec):
+def execute(spec, wall_clock_budget=None):
     """Re-execute *spec* on the kernel; return ``(system, outcome)``.
 
-    Simulator exceptions are contained into the outcome (``crashed``),
-    mirroring the campaign runner, so the shrinker can minimise crashes
-    too.
+    Simulator exceptions are contained into the outcome (``crashed``,
+    with the full traceback on ``outcome.traceback_text``), mirroring
+    the campaign runner, so the shrinker can minimise crashes too.
+    ``wall_clock_budget`` (host seconds) arms the kernel's cooperative
+    deadline: exceeding it classifies the run ``timeout`` instead of
+    crashing the hosting process.
     """
-    overrides = {}
-    for fault in spec.faults:
-        if fault.kind == "behavioural":
-            overrides[fault.slave] = fault_slave_factory(
-                fault.mode, fault.trigger_after)
-    system = build_scenario(
-        spec.scenario, seed=spec.seed,
-        retry_limit=spec.retry_limit,
-        retry_backoff=spec.retry_backoff,
-        slave_overrides=overrides or None,
-        watchdog=spec.watchdog,
-        watchdog_kwargs=dict(spec.watchdog_kwargs),
-        check_protocol=spec.check_protocol,
-        protocol_kwargs=dict(spec.protocol_kwargs),
-    )
-    signal_faults = [fault for fault in spec.faults
-                     if fault.kind != "behavioural"]
-    if signal_faults:
-        injector = FaultInjector(system.sim, system.clk,
-                                 seed=spec.injector_seed)
-        for fault in signal_faults:
-            target = getattr(system.bus, fault.signal)
-            window = {"start": fault.start_ps, "end": fault.end_ps,
-                      "probability": fault.probability}
-            if fault.kind == "stuck-at":
-                injector.stuck_at(target, fault.bit,
-                                  stuck_value=fault.value, **window)
-            elif fault.kind == "bit-flip":
-                injector.bit_flip(target, fault.bit, **window)
-            else:
-                injector.glitch(target, fault.value,
-                                cycles=fault.cycles, **window)
+    system = None
     error_text = None
+    error_traceback = None
+    timed_out = False
     try:
-        system.run(us(spec.duration_us))
+        overrides = {}
+        for fault in spec.faults:
+            if fault.kind == "behavioural":
+                overrides[fault.slave] = fault_slave_factory(
+                    fault.mode, fault.trigger_after)
+        system = build_scenario(
+            spec.scenario, seed=spec.seed,
+            retry_limit=spec.retry_limit,
+            retry_backoff=spec.retry_backoff,
+            slave_overrides=overrides or None,
+            watchdog=spec.watchdog,
+            watchdog_kwargs=dict(spec.watchdog_kwargs),
+            check_protocol=spec.check_protocol,
+            protocol_kwargs=dict(spec.protocol_kwargs),
+        )
+        signal_faults = [fault for fault in spec.faults
+                         if fault.kind != "behavioural"]
+        if signal_faults:
+            injector = FaultInjector(system.sim, system.clk,
+                                     seed=spec.injector_seed)
+            for fault in signal_faults:
+                target = getattr(system.bus, fault.signal)
+                window = {"start": fault.start_ps, "end": fault.end_ps,
+                          "probability": fault.probability}
+                if fault.kind == "stuck-at":
+                    injector.stuck_at(target, fault.bit,
+                                      stuck_value=fault.value,
+                                      **window)
+                elif fault.kind == "bit-flip":
+                    injector.bit_flip(target, fault.bit, **window)
+                else:
+                    injector.glitch(target, fault.value,
+                                    cycles=fault.cycles, **window)
+        system.run(us(spec.duration_us),
+                   wall_clock_budget=wall_clock_budget)
+    except WallClockDeadlineError as exc:
+        error_text = "%s: %s" % (type(exc).__name__, exc)
+        timed_out = True
     except Exception as exc:  # contain — the fingerprint is the product
         error_text = "%s: %s" % (type(exc).__name__, exc)
-    return system, RunOutcome.of(system, error_text)
+        error_traceback = _traceback.format_exc()
+    if system is None:
+        # Elaboration itself crashed: no system to fingerprint, but
+        # the failure must still be contained and replayable.
+        outcome = RunOutcome(
+            outcome="crashed", completed=0, failed=0, aborted=0,
+            watchdog_events=0, recoveries=0, violations=0,
+            rules_tripped=[], recovery_compliant=True,
+            total_energy_j=0.0, overhead_energy_j=0.0,
+            detail=error_text or "")
+    else:
+        outcome = RunOutcome.of(system, error_text,
+                                timed_out=timed_out)
+    outcome.traceback_text = error_traceback
+    return system, outcome
 
 
 def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,

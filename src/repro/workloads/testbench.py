@@ -176,9 +176,14 @@ class AhbSystem:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, duration_ps):
-        """Advance the simulation by *duration_ps* and return self."""
-        self.sim.run(until=self.sim.now + duration_ps)
+    def run(self, duration_ps, wall_clock_budget=None):
+        """Advance the simulation by *duration_ps* and return self.
+
+        ``wall_clock_budget`` (host seconds) is forwarded to the kernel
+        so supervised runs can enforce per-run deadlines cooperatively.
+        """
+        self.sim.run(until=self.sim.now + duration_ps,
+                     wall_clock_budget=wall_clock_budget)
         return self
 
     # -- results ------------------------------------------------------------

@@ -1,0 +1,128 @@
+"""The append-only campaign journal: tolerant loading and resume state."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    FORMAT,
+    CampaignJournal,
+    JournalError,
+    load_journal,
+)
+
+
+def write_lines(path, records, tail=""):
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+        fh.write(tail)
+
+
+def header(runs=("s/none", "s/always-retry")):
+    return {"event": "campaign", "format": FORMAT,
+            "config": {"jobs": 2}, "runs": list(runs)}
+
+
+class TestLoad:
+    def test_round_trip_accounting(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [
+            header(),
+            {"event": "dispatch", "run": "s/none", "attempt": 1,
+             "worker": 11},
+            {"event": "result", "run": "s/none",
+             "result": {"scenario": "s", "fault": "none",
+                        "outcome": "completed"}},
+            {"event": "dispatch", "run": "s/always-retry",
+             "attempt": 1, "worker": 12},
+            {"event": "attempt-failed", "run": "s/always-retry",
+             "attempt": 1, "reason": "worker-crashed", "detail": ""},
+            {"event": "dispatch", "run": "s/always-retry",
+             "attempt": 2, "worker": 13},
+        ])
+        state = load_journal(path)
+        assert state.completed == {"s/none"}
+        assert state.results["s/none"]["outcome"] == "completed"
+        assert state.attempts == {"s/always-retry": 1}
+        # dispatched again after the failed attempt, no result yet
+        assert state.in_flight == {"s/always-retry"}
+        assert not state.truncated_tail
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [
+            header(),
+            {"event": "result", "run": "s/none",
+             "result": {"scenario": "s", "fault": "none",
+                        "outcome": "completed"}},
+        ], tail='{"event": "result", "run": "s/alw')  # killed mid-write
+        state = load_journal(path)
+        assert state.truncated_tail
+        assert state.completed == {"s/none"}
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header()) + "\n")
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"event": "result", "run": "s/none",
+                                 "result": {}}) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            load_journal(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [{"event": "result", "run": "s/none",
+                            "result": {}}])
+        with pytest.raises(JournalError, match="header"):
+            load_journal(path)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [{"event": "campaign",
+                            "format": "something-else/9"}])
+        with pytest.raises(JournalError, match="format"):
+            load_journal(path)
+
+    def test_quarantine_is_remembered(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [
+            header(),
+            {"event": "quarantine", "run": "s/always-retry",
+             "artefact": "/tmp/q.json"},
+            {"event": "result", "run": "s/always-retry",
+             "result": {"scenario": "s", "fault": "always-retry",
+                        "outcome": "quarantined"}},
+        ])
+        state = load_journal(path)
+        assert state.quarantined == {"s/always-retry": "/tmp/q.json"}
+        assert "s/always-retry" in state.completed
+
+
+class TestWriter:
+    def test_writer_appends_flushed_lines(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.open(header={"config": {}, "runs": ["s/none"]})
+        journal.append({"event": "dispatch", "run": "s/none",
+                        "attempt": 1, "worker": None})
+        # readable before close: every append hits the disk
+        state = load_journal(path)
+        assert state.header["format"] == FORMAT
+        assert state.in_flight == {"s/none"}
+        journal.close()
+
+    def test_reopen_for_resume_appends(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(str(path)) as journal:
+            journal.open(header={"config": {}, "runs": ["s/none"]})
+        with CampaignJournal(str(path)) as journal:
+            journal.open(resume=True)
+            journal.append({"event": "result", "run": "s/none",
+                            "result": {"scenario": "s",
+                                       "fault": "none",
+                                       "outcome": "completed"}})
+        state = load_journal(path)
+        assert state.header is not None
+        assert state.completed == {"s/none"}

@@ -149,6 +149,42 @@ class TestRunControl:
             sim.run()
 
 
+class TestWallClockBudget:
+    def test_budget_expiry_raises_between_time_steps(self):
+        from repro.kernel import WallClockDeadlineError
+        sim = Simulator()
+
+        def ticker():
+            while True:
+                yield ns(1)
+
+        sim.add_thread(ticker)
+        with pytest.raises(WallClockDeadlineError) as excinfo:
+            sim.run(until=ns(10_000_000), wall_clock_budget=0.0)
+        assert excinfo.value.budget == 0.0
+        assert excinfo.value.elapsed >= 0.0
+
+    def test_no_budget_means_no_deadline(self):
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(5):
+                yield ns(1)
+
+        sim.add_thread(ticker)
+        assert sim.run() == ns(5)
+
+    def test_generous_budget_does_not_fire(self):
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(5):
+                yield ns(1)
+
+        sim.add_thread(ticker)
+        assert sim.run(wall_clock_budget=60.0) == ns(5)
+
+
 class TestErrors:
     def test_process_exception_wrapped(self):
         sim = Simulator()
