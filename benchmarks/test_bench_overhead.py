@@ -3,7 +3,8 @@
 Times the paper testbench with the global power monitor attached vs the
 pure functional build (the POWERTEST switch off).  The paper reports
 "a doubling in the simulation time"; the reproduction target is a
-measurable, bounded slowdown of the same order.
+measurable, bounded slowdown of the same order.  Figures land in
+``BENCH_overhead.json`` for the PR-over-PR trajectory.
 """
 
 from conftest import report
@@ -11,10 +12,14 @@ from conftest import report
 from repro.analysis import run_overhead
 
 
-def test_powertest_overhead(run_once):
+def test_powertest_overhead(run_once, bench_json):
     result = run_once(run_overhead, seed=1, repeats=3)
     report(result)
     assert 1.05 <= result.metrics["ratio"] <= 6.0
+    bench_json("powertest_overhead",
+               baseline_s=result.metrics["baseline_s"],
+               instrumented_s=result.metrics["instrumented_s"],
+               ratio=result.metrics["ratio"])
 
 
 def test_functional_behaviour_unchanged_by_instrumentation():

@@ -3,15 +3,20 @@
 Not a paper artefact but the quantity that makes the methodology usable:
 "the simulation of a complete SoC ... can be several hundreds times
 faster than an RTL simulation".  Tracks kernel cycles/second, bus
-transfer throughput and gate-level vectors/second.
+transfer throughput and gate-level vectors/second, and records the
+figures to ``BENCH_throughput.json`` for the PR-over-PR trajectory.
 """
+
+import time
+
+from conftest import bench_seconds
 
 from repro.gatelevel import GateLevelSimulator, synth_mux
 from repro.kernel import Clock, MHz, Signal, Simulator, us
 from repro.workloads import build_paper_testbench
 
 
-def test_kernel_cycle_throughput(benchmark):
+def test_kernel_cycle_throughput(benchmark, bench_json):
     """Raw kernel: one clocked method process counting edges."""
     def run():
         sim = Simulator()
@@ -22,22 +27,30 @@ def test_kernel_cycle_throughput(benchmark):
         sim.run(until=us(200))
         return count.value
 
+    start = time.perf_counter()
     cycles = benchmark(run)
+    seconds = bench_seconds(benchmark, time.perf_counter() - start)
     assert cycles == 20_000
+    bench_json("kernel_cycle_throughput", cycles=cycles,
+               seconds=seconds, cycles_per_s=cycles / seconds)
 
 
-def test_bus_simulation_throughput(benchmark):
+def test_bus_simulation_throughput(benchmark, bench_json):
     """Full paper testbench with power analysis (the common case)."""
     def run():
         testbench = build_paper_testbench(seed=1, checker=False)
         testbench.run(us(50))
         return testbench.ledger.cycles
 
+    start = time.perf_counter()
     cycles = benchmark(run)
+    seconds = bench_seconds(benchmark, time.perf_counter() - start)
     assert cycles == 5_000
+    bench_json("bus_simulation_throughput", cycles=cycles,
+               seconds=seconds, cycles_per_s=cycles / seconds)
 
 
-def test_bus_functional_only_throughput(benchmark):
+def test_bus_functional_only_throughput(benchmark, bench_json):
     """POWERTEST off: the fast architectural-exploration mode."""
     def run():
         testbench = build_paper_testbench(seed=1, checker=False,
@@ -45,11 +58,16 @@ def test_bus_functional_only_throughput(benchmark):
         testbench.run(us(50))
         return testbench.transactions_completed()
 
+    start = time.perf_counter()
     transactions = benchmark(run)
+    seconds = bench_seconds(benchmark, time.perf_counter() - start)
     assert transactions > 1000
+    bench_json("bus_functional_only_throughput",
+               transactions=transactions, seconds=seconds,
+               txns_per_s=transactions / seconds)
 
 
-def test_gate_level_vector_throughput(benchmark):
+def test_gate_level_vector_throughput(benchmark, bench_json):
     """Gate-level characterisation speed (vectors/second)."""
     netlist = synth_mux(4, 32)
     simulator = GateLevelSimulator(netlist)
@@ -64,4 +82,8 @@ def test_gate_level_vector_throughput(benchmark):
             simulator.step_ints(**vector)
         return simulator.steps
 
+    start = time.perf_counter()
     benchmark(run)
+    seconds = bench_seconds(benchmark, time.perf_counter() - start)
+    bench_json("gate_level_vector_throughput", vectors=len(vectors),
+               seconds=seconds, vectors_per_s=len(vectors) / seconds)

@@ -15,6 +15,8 @@
     python -m repro.cli faults --jobs 4 --timeout 30 \\
         --journal campaign.jsonl --resume
     python -m repro.cli replay campaign.trace.json --shrink
+    python -m repro.cli telemetry --duration-us 20 \\
+        --trace-out trace.json --json metrics.json
 
 Every command prints human-readable tables; ``--json`` additionally
 writes machine-readable results.
@@ -148,6 +150,10 @@ def _cmd_faults(args):
         journal=args.journal, resume=args.resume,
     )
     print(result.summary().format())
+    if args.metrics:
+        metrics = result.metrics()
+        print()
+        print(metrics.summary_table().format())
     if result.resumed:
         print("resumed: %d run(s) restored from %s"
               % (result.resumed, args.journal), file=sys.stderr)
@@ -183,6 +189,63 @@ def _cmd_faults(args):
                            for run in bad)),
               file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_telemetry(args):
+    import json as _json
+
+    from .kernel import us
+    from .telemetry import Telemetry, validate_chrome_trace
+    from .workloads import SCENARIOS, build_scenario
+    from .workloads.testbench import build_paper_testbench
+
+    telemetry = Telemetry(
+        trace_signals=tuple(args.trace_signal or ()),
+        energy_counter_every=args.energy_every,
+    )
+    if args.scenario:
+        if args.scenario not in SCENARIOS:
+            print("unknown scenario %r (available: %s)"
+                  % (args.scenario, ", ".join(sorted(SCENARIOS))),
+                  file=sys.stderr)
+            return 2
+        system = build_scenario(args.scenario, seed=args.seed,
+                                telemetry=telemetry)
+        label = args.scenario
+    else:
+        system = build_paper_testbench(seed=args.seed,
+                                       telemetry=telemetry)
+        label = "paper testbench (Table 1 configuration)"
+    system.run(us(args.duration_us))
+    telemetry.finalize()
+
+    print("telemetry: %s, %.1f us simulated, %d trace events%s"
+          % (label, args.duration_us, len(telemetry.tracer),
+             " (%d dropped)" % telemetry.tracer.dropped
+             if telemetry.tracer.dropped else ""),
+          file=sys.stderr)
+    print(telemetry.summary().format())
+    if args.trace_out:
+        telemetry.tracer.write_chrome(args.trace_out,
+                                      timebase=args.timebase)
+        problems = validate_chrome_trace(args.trace_out)
+        if problems:
+            for problem in problems:
+                print("trace validation: %s" % problem,
+                      file=sys.stderr)
+            return 1
+        print("wrote %s (%s timebase; load it at "
+              "https://ui.perfetto.dev)"
+              % (args.trace_out, args.timebase), file=sys.stderr)
+    if args.jsonl:
+        telemetry.tracer.write_jsonl(args.jsonl)
+        print("wrote %s" % args.jsonl, file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(telemetry.snapshot(), fh, indent=2,
+                       sort_keys=True)
+        print("wrote %s" % args.json, file=sys.stderr)
+    return 0
 
 
 def _cmd_replay(args):
@@ -348,6 +411,10 @@ def build_parser():
         "--resume", action="store_true",
         help="load --journal first: skip completed runs, re-dispatch "
              "in-flight ones")
+    faults_parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print the merged campaign telemetry summary "
+             "(throughput, outcome rates, energy totals)")
     faults_parser.set_defaults(fn=_cmd_faults)
 
     replay_parser = sub.add_parser(
@@ -369,6 +436,41 @@ def build_parser():
     replay_parser.add_argument("--json",
                                help="also write a JSON report")
     replay_parser.set_defaults(fn=_cmd_replay)
+
+    telemetry_parser = sub.add_parser(
+        "telemetry",
+        help="run one instrumented simulation and export metrics "
+             "plus a Perfetto-loadable trace")
+    telemetry_parser.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="named SoC scenario (default: the paper's Table 1 "
+             "testbench)")
+    telemetry_parser.add_argument("--seed", type=int, default=1)
+    telemetry_parser.add_argument("--duration-us", type=float,
+                                  default=20.0)
+    telemetry_parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write Chrome trace-event JSON (open in "
+             "ui.perfetto.dev or chrome://tracing)")
+    telemetry_parser.add_argument(
+        "--timebase", choices=("sim", "wall"), default="sim",
+        help="trace timestamps: simulated time (bus/power timeline) "
+             "or host wall-clock (CPU profile)")
+    telemetry_parser.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also write the compact JSONL event stream")
+    telemetry_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the metrics registry snapshot as JSON")
+    telemetry_parser.add_argument(
+        "--trace-signal", action="append", metavar="NAME",
+        help="bus signal to trace at commit granularity "
+             "(repeatable, e.g. htrans; expensive)")
+    telemetry_parser.add_argument(
+        "--energy-every", type=int, default=1, metavar="N",
+        help="emit per-block energy counter samples every N power "
+             "cycles (0 disables)")
+    telemetry_parser.set_defaults(fn=_cmd_telemetry)
     return parser
 
 

@@ -38,9 +38,16 @@ def execute_payload(payload, wall_clock_budget=None):
     serial and parallel campaigns bit-identical per run: the payload's
     ``RunSpec`` fully determines the simulation, and this function adds
     only host-side bookkeeping (wall time) on top.
+
+    Each result carries a per-run telemetry snapshot (see
+    :func:`repro.telemetry.metrics_for_result`) recorded from the
+    run's deterministic quantities only, so the snapshot — like the
+    rest of the result — is a pure function of the ``RunSpec`` and the
+    supervisor can merge worker snapshots reproducibly.
     """
     from ..faults.campaign import result_from_execution
     from ..replay import RunSpec, execute
+    from ..telemetry import metrics_for_result
 
     spec = RunSpec.from_dict(payload["spec"])
     start = time.monotonic()
@@ -49,6 +56,7 @@ def execute_payload(payload, wall_clock_budget=None):
         payload["scenario"], payload["fault"], system, outcome,
         spec=spec, wall_time_s=time.monotonic() - start,
     )
+    result.metrics = metrics_for_result(result)
     return result.to_dict()
 
 

@@ -132,7 +132,7 @@ class FaultRunResult:
                  overhead_energy=0.0, energy_per_txn=0.0,
                  baseline_energy_per_txn=0.0, detail="",
                  traceback=None, spec=None, fingerprint=None,
-                 attempts=1, wall_time_s=0.0):
+                 attempts=1, wall_time_s=0.0, metrics=None):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
@@ -166,6 +166,10 @@ class FaultRunResult:
         self.attempts = attempts
         #: Host wall-clock seconds the (final) attempt took.
         self.wall_time_s = wall_time_s
+        #: Per-run telemetry registry snapshot (see
+        #: :func:`repro.telemetry.metrics_for_result`); None for
+        #: results produced before the telemetry layer existed.
+        self.metrics = metrics
 
     @property
     def run_id(self):
@@ -203,6 +207,7 @@ class FaultRunResult:
             "fingerprint": self.fingerprint,
             "attempts": self.attempts,
             "wall_time_s": self.wall_time_s,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -220,7 +225,7 @@ class FaultRunResult:
                  "aborted", "watchdog_events", "recoveries",
                  "violations", "rules_tripped", "recovery_compliant",
                  "detail", "traceback", "spec", "fingerprint",
-                 "attempts", "wall_time_s")
+                 "attempts", "wall_time_s", "metrics")
         kwargs = {}
         for key, value in data.items():
             key = renames.get(key, key)
@@ -271,6 +276,20 @@ class CampaignResult:
         return [run for run in self.runs
                 if run.outcome in FAILURE_OUTCOMES]
 
+    def metrics(self):
+        """Campaign-level merged telemetry (see
+        :func:`repro.telemetry.campaign_metrics`).
+
+        The returned object's ``merged`` snapshot is the ``run_id``-
+        ordered fold of every run's per-run snapshot — bit-identical
+        whether the campaign ran serially, across ``--jobs N`` workers
+        or resumed from a journal.  Wall-clock figures (throughput)
+        live only in its summary.
+        """
+        from ..telemetry import campaign_metrics
+        return campaign_metrics(self.runs, wall_time_s=self.wall_time_s,
+                                jobs=self.jobs)
+
     def summary(self):
         """Human-readable campaign report table."""
         table = TextTable([
@@ -306,6 +325,7 @@ class CampaignResult:
             "resumed": self.resumed,
             "degraded": self.degraded,
             "runs": [run.to_dict() for run in self.runs],
+            "campaign_metrics": self.metrics().to_dict(),
         }
 
 

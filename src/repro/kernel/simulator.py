@@ -61,6 +61,7 @@ class Simulator:
         self._stop_requested = False
         self._running = False
         self.delta_count = 0
+        self._observer = None
 
     # -- construction hooks (used by Signal / Module / processes) ------
 
@@ -122,6 +123,34 @@ class Simulator:
         )
         self._processes.append(process)
         return process
+
+    # -- observation -----------------------------------------------------
+
+    def attach_observer(self, observer):
+        """Install a kernel observer (at most one at a time).
+
+        The observer receives ``on_process(process, now, seconds)``
+        after every process activation (*seconds* is host wall-clock
+        time spent inside the process) and ``on_settle(now, deltas)``
+        after each time step that executed at least one delta cycle.
+        The scheduler only pays the timing overhead while an observer
+        is attached; with none, the hot loop is branch-identical to an
+        unobserved kernel.
+        """
+        if self._observer is not None:
+            raise SimulationError(
+                "an observer is already attached; detach it first")
+        self._observer = observer
+
+    def detach_observer(self, observer=None):
+        """Remove the attached observer (no-op when none matches)."""
+        if observer is None or self._observer is observer:
+            self._observer = None
+
+    @property
+    def observer(self):
+        """The attached kernel observer, or None."""
+        return self._observer
 
     # -- execution ------------------------------------------------------
 
@@ -189,6 +218,7 @@ class Simulator:
     def _settle_deltas(self):
         """Run evaluate/update cycles until no process is runnable."""
         deltas = 0
+        observer = self._observer
         while self._runnable or self._update_queue or self._delta_events:
             deltas += 1
             self.delta_count += 1
@@ -207,14 +237,23 @@ class Simulator:
                 if process.terminated:
                     continue
                 try:
-                    process.run_fn()
+                    if observer is None:
+                        process.run_fn()
+                    else:
+                        started = _time.perf_counter()
+                        process.run_fn()
+                        observer.on_process(
+                            process, self.now,
+                            _time.perf_counter() - started)
                 except (SimulationError, KeyboardInterrupt):
                     raise
                 except Exception as exc:
                     raise ProcessError(process.name, exc) from exc
             self._update_phase()
             if self._stop_requested:
-                return
+                break
+        if observer is not None and deltas:
+            observer.on_settle(self.now, deltas)
 
     def _update_phase(self):
         """Commit staged signals and fire delta events."""

@@ -1,29 +1,42 @@
 """Simulation profiling.
 
-:class:`SimulationProfiler` wraps a simulator's processes to count
+:class:`SimulationProfiler` observes a simulator's processes to count
 activations and measure per-process wall-clock time, so model authors
 can see where simulation time goes — the observability behind the
 paper's concern that instrumentation "does not have to ... [impact]
 the simulation speed" more than necessary.
 
-The profiler is strictly opt-in and adds one function-call layer per
-process activation while enabled.
+Since the telemetry layer landed, the profiler is a thin facade over a
+:class:`repro.telemetry.MetricsRegistry`: each process's figures live
+in the ``sim_process_activations_total`` / ``sim_process_seconds_total``
+labelled counters (pass your own ``registry`` to share series with a
+:class:`repro.telemetry.Telemetry` export), and the kernel-side
+mechanism is the same :meth:`Simulator.attach_observer` hook the
+telemetry bundle uses.  The profiler is strictly opt-in and the kernel
+pays the timing overhead only while it is installed.
 """
 
 from __future__ import annotations
 
-import time
-
 
 class ProcessProfile:
-    """Activation statistics of one process."""
+    """Activation statistics of one process (a live view onto the
+    backing registry's counter series)."""
 
-    __slots__ = ("name", "activations", "total_seconds")
+    __slots__ = ("name", "_activations", "_seconds")
 
-    def __init__(self, name):
+    def __init__(self, name, activations_child, seconds_child):
         self.name = name
-        self.activations = 0
-        self.total_seconds = 0.0
+        self._activations = activations_child
+        self._seconds = seconds_child
+
+    @property
+    def activations(self):
+        return int(self._activations.value)
+
+    @property
+    def total_seconds(self):
+        return self._seconds.value
 
     @property
     def mean_seconds(self):
@@ -48,51 +61,72 @@ class SimulationProfiler:
         sim.run(until=us(50))
         profiler.uninstall()
         print(profiler.report())
+
+    Parameters
+    ----------
+    simulator:
+        The :class:`Simulator` to observe.
+    registry:
+        Optional :class:`repro.telemetry.MetricsRegistry` backing the
+        per-process counters; a private one is created by default.
+        Sharing a registry with a telemetry bundle folds the profile
+        into the same metrics export.
     """
 
-    def __init__(self, simulator):
+    def __init__(self, simulator, registry=None):
+        from ..telemetry.registry import MetricsRegistry
+
         self.simulator = simulator
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
         self.profiles = {}
-        self._original_runs = {}
+        self._activations_metric = self.registry.counter(
+            "sim_process_activations_total", "Process activations",
+            labelnames=("process",))
+        self._seconds_metric = self.registry.counter(
+            "sim_process_seconds_total",
+            "Wall-clock seconds inside each process",
+            labelnames=("process",))
         self._installed = False
         self._start_deltas = None
-        self._start_time = None
+
+    def _profile_for(self, name):
+        profile = self.profiles.get(name)
+        if profile is None:
+            profile = self.profiles[name] = ProcessProfile(
+                name,
+                self._activations_metric.labels(process=name),
+                self._seconds_metric.labels(process=name),
+            )
+        return profile
 
     def install(self):
-        """Start profiling every currently-registered process."""
+        """Attach to the kernel and start profiling every process."""
         if self._installed:
             raise RuntimeError("profiler already installed")
+        self.simulator.attach_observer(self)
         for process in self.simulator.processes:
-            profile = self.profiles.setdefault(
-                process.name, ProcessProfile(process.name))
-            self._wrap(process, profile)
+            self._profile_for(process.name)
         self._installed = True
         self._start_deltas = self.simulator.delta_count
-        self._start_time = time.perf_counter()
         return self
 
-    def _wrap(self, process, profile):
-        original = process.run_fn
-        self._original_runs[id(process)] = (process, original)
-
-        def wrapped():
-            begin = time.perf_counter()
-            try:
-                original()
-            finally:
-                profile.total_seconds += time.perf_counter() - begin
-                profile.activations += 1
-
-        process.run_fn = wrapped
-
     def uninstall(self):
-        """Stop profiling and restore the original process bodies."""
+        """Detach from the kernel (idempotent); profiles persist."""
         if not self._installed:
             return
-        for process, original in self._original_runs.values():
-            process.run_fn = original
-        self._original_runs.clear()
+        self.simulator.detach_observer(self)
         self._installed = False
+
+    # -- kernel observer interface -------------------------------------
+
+    def on_process(self, process, now, seconds):
+        profile = self._profile_for(process.name)
+        profile._activations.inc()
+        profile._seconds.inc(seconds)
+
+    def on_settle(self, now, deltas):
+        pass
 
     # -- results ------------------------------------------------------
 
@@ -126,6 +160,10 @@ class SimulationProfiler:
         lines.append("deltas: %d, activations: %d"
                      % (self.deltas_observed, self.total_activations))
         return "\n".join(lines)
+
+    def snapshot(self):
+        """The backing registry's snapshot (metrics-export form)."""
+        return self.registry.snapshot()
 
     def __enter__(self):
         return self.install()

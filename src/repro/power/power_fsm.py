@@ -30,10 +30,15 @@ class PowerFsm:
         line is written per cycle, like the paper's output file.
     """
 
-    def __init__(self, ledger=None, traces=None, datafile=None):
+    def __init__(self, ledger=None, traces=None, datafile=None,
+                 tracer=None):
         self.ledger = ledger if ledger is not None else EnergyLedger()
         self.traces = traces
         self.datafile = datafile
+        #: Optional telemetry hook (e.g.
+        #: :class:`repro.telemetry.PowerTracer`); its ``on_step`` is
+        #: called once per cycle.  Costs one ``None`` check when unset.
+        self.tracer = tracer
         self.state = BusMode.IDLE
         self.instruction_log = None
         self.cycles = 0
@@ -74,6 +79,9 @@ class PowerFsm:
             )
         if self.instruction_log is not None:
             self.instruction_log.append((time_ps, instruction, total))
+        if self.tracer is not None:
+            self.tracer.on_step(time_ps, mode, instruction,
+                                block_energies, total, response)
         self.cycles += 1
         return instruction
 

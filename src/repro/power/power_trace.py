@@ -52,6 +52,20 @@ class PowerTrace:
         """Event energies as a numpy array (joules)."""
         return np.asarray(self._energies, dtype=np.float64)
 
+    def _select(self, t_start, t_end):
+        """Events inside the half-open window ``[t_start, t_end)``.
+
+        The single source of window-selection truth shared by
+        :meth:`windowed` and :meth:`energy_between`: an event exactly
+        on ``t_start`` is **included**, one exactly on ``t_end`` is
+        **excluded**.
+        """
+        times = self.times
+        if not len(times):
+            return times, self.energies
+        mask = (times >= t_start) & (times < t_end)
+        return times[mask], self.energies[mask]
+
     def windowed(self, window_ps, t_start=0, t_end=None):
         """Average power per window.
 
@@ -62,27 +76,25 @@ class PowerTrace:
         if window_ps <= 0:
             raise ValueError("window must be positive")
         times = self.times
-        energies = self.energies
         if t_end is None:
             t_end = int(times.max()) + window_ps if len(times) else window_ps
         n_windows = max(1, int(np.ceil((t_end - t_start) / window_ps)))
         edges = t_start + np.arange(n_windows + 1) * window_ps
         sums = np.zeros(n_windows)
-        if len(times):
-            mask = (times >= t_start) & (times < edges[-1])
-            indices = ((times[mask] - t_start) // window_ps).astype(int)
-            np.add.at(sums, indices, energies[mask])
+        selected_times, selected_energies = self._select(
+            t_start, int(edges[-1]))
+        if len(selected_times):
+            indices = ((selected_times - t_start)
+                       // window_ps).astype(int)
+            np.add.at(sums, indices, selected_energies)
         centers = (edges[:-1] + edges[1:]) / 2.0
         window_seconds = to_seconds(window_ps)
         return (centers * 1e-12, sums / window_seconds)
 
     def energy_between(self, t_start, t_end):
         """Energy recorded in ``[t_start, t_end)`` picoseconds."""
-        times = self.times
-        if not len(times):
-            return 0.0
-        mask = (times >= t_start) & (times < t_end)
-        return float(self.energies[mask].sum())
+        _, energies = self._select(t_start, t_end)
+        return float(energies.sum())
 
     def mean_power(self):
         """Average power over the span of recorded events (watts)."""

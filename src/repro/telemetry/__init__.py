@@ -1,0 +1,86 @@
+"""Unified observability layer: metrics, tracing, aggregation.
+
+The runtime analogue of the paper's ``POWERTEST`` compile switch —
+rich signals when enabled, one attribute lookup and a no-op call when
+disabled:
+
+* :mod:`~repro.telemetry.registry` — counters / gauges / histograms
+  with labelled series, a null backend, and deterministic snapshot
+  merging;
+* :mod:`~repro.telemetry.tracing` — dual-timebase (simulated +
+  wall-clock) span/instant/counter tracing with Chrome-trace
+  (Perfetto) and JSONL export;
+* :mod:`~repro.telemetry.hooks` — kernel, AHB-bus and power-FSM
+  instrumentation plus the :class:`Telemetry` bundle that wires all
+  three onto an :class:`~repro.workloads.AhbSystem`;
+* :mod:`~repro.telemetry.aggregate` — per-run metric recording and
+  the cross-worker campaign merge.
+
+See ``docs/OBSERVABILITY.md`` for the narrative documentation.
+"""
+
+from .aggregate import (
+    CampaignMetrics,
+    campaign_metrics,
+    metrics_for_result,
+    metrics_table,
+    record_run_metrics,
+)
+from .hooks import (
+    STORM_THRESHOLD,
+    BusTelemetry,
+    KernelTelemetry,
+    PowerTracer,
+    Telemetry,
+)
+from .registry import (
+    COUNT_BUCKETS,
+    CYCLE_BUCKETS,
+    ENERGY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+    null_registry,
+)
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    Track,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "BusTelemetry",
+    "CampaignMetrics",
+    "COUNT_BUCKETS",
+    "CYCLE_BUCKETS",
+    "Counter",
+    "ENERGY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "KernelTelemetry",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "PowerTracer",
+    "STORM_THRESHOLD",
+    "Telemetry",
+    "TraceEvent",
+    "Tracer",
+    "Track",
+    "campaign_metrics",
+    "merge_snapshots",
+    "metrics_for_result",
+    "metrics_table",
+    "null_registry",
+    "record_run_metrics",
+    "validate_chrome_trace",
+]

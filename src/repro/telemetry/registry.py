@@ -1,0 +1,399 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The runtime analogue of the paper's ``POWERTEST`` compile switch: a
+:class:`MetricsRegistry` hands out live instruments, while
+:func:`null_registry` hands out no-op instruments sharing the same API,
+so instrumented call sites cost one attribute lookup and a no-op call
+when telemetry is disabled — no ``if enabled`` branches in model code.
+
+Snapshots are plain JSON-able dicts designed to merge: counters sum,
+histogram bins sum element-wise, gauges take the last written value.
+:func:`merge_snapshots` folds worker snapshots into campaign-level
+aggregates deterministically (the caller fixes the fold order), which
+is what makes serial and parallel campaign metrics bit-identical.
+"""
+
+from __future__ import annotations
+
+#: Default histogram buckets for per-run energy observations (joules).
+#: Log-spaced from sub-pJ glitches to µJ-scale long runs.
+ENERGY_BUCKETS = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-12, -5)
+    for mantissa in (1.0, 3.0)
+)
+
+#: Default buckets for small event counts (violations, retries...).
+COUNT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0)
+
+#: Default buckets for latencies measured in bus cycles.
+CYCLE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _label_key(labelnames, labelvalues):
+    """Canonical series key: ``"name=value,name=value"`` in declared
+    label order (empty string for unlabelled series)."""
+    return ",".join("%s=%s" % (name, value)
+                    for name, value in zip(labelnames, labelvalues))
+
+
+class _Instrument:
+    """Common parent/child machinery of all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name, help="", labelnames=()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children = {}
+        if not self.labelnames:
+            # The unlabelled default child backs the parent-level API.
+            self._default = self._make_child()
+            self._children[""] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues):
+        """The child series for *labelvalues* (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                "%s expects labels %r, got %r"
+                % (self.name, self.labelnames, tuple(labelvalues)))
+        key = _label_key(self.labelnames,
+                         [labelvalues[name] for name in self.labelnames])
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def _require_default(self):
+        if self._default is None:
+            raise ValueError(
+                "%s is labelled (%r); use .labels(...)"
+                % (self.name, self.labelnames))
+        return self._default
+
+    def series(self):
+        """Mapping ``label key -> child`` of every live series."""
+        return dict(self._children)
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def _make_child(self):
+        return _CounterChild()
+
+    def inc(self, amount=1.0):
+        self._require_default().inc(amount)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (last write wins on merge)."""
+
+    kind = "gauge"
+
+    def _make_child(self):
+        return _GaugeChild()
+
+    def set(self, value):
+        self._require_default().set(value)
+
+    def inc(self, amount=1.0):
+        self._require_default().inc(amount)
+
+    def dec(self, amount=1.0):
+        self._require_default().dec(amount)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "sum", "count", "_buckets")
+
+    def __init__(self, buckets):
+        self._buckets = buckets
+        # one bin per upper edge plus a final overflow bin
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        index = len(self._buckets)
+        for position, edge in enumerate(self._buckets):
+            if value <= edge:
+                index = position
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Histogram(_Instrument):
+    """Bucketed observations with explicit upper edges.
+
+    ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` (non-cumulative bins); the final bin counts
+    overflow beyond the last edge.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(),
+                 buckets=COUNT_BUCKETS):
+        self.buckets = tuple(sorted(float(edge) for edge in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket edge")
+        super().__init__(name, help=help, labelnames=labelnames)
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value):
+        self._require_default().observe(value)
+
+
+class MetricsRegistry:
+    """Factory and container of named instruments.
+
+    Re-requesting a name returns the existing instrument (so modules
+    can share series); re-requesting it as a different kind or with
+    different labels/buckets raises.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, cls, name, help, labelnames, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls) \
+                    or instrument.labelnames != tuple(labelnames):
+                raise ValueError(
+                    "metric %r already registered as %s%r"
+                    % (name, instrument.kind, instrument.labelnames))
+            return instrument
+        instrument = cls(name, help=help, labelnames=labelnames,
+                         **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name, help="", labelnames=()):
+        return self._get(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()):
+        return self._get(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help="", labelnames=(),
+                  buckets=COUNT_BUCKETS):
+        instrument = self._get(Histogram, name, help, labelnames,
+                               buckets=buckets)
+        if instrument.buckets != tuple(sorted(float(edge)
+                                              for edge in buckets)):
+            raise ValueError("metric %r already registered with "
+                             "different buckets" % name)
+        return instrument
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def get(self, name):
+        """The instrument registered under *name* (None if absent)."""
+        return self._instruments.get(name)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self):
+        """JSON-able dump of every live series."""
+        data = {"counters": {}, "gauges": {}, "histograms": {}}
+        for instrument in self._instruments.values():
+            if instrument.kind == "histogram":
+                data["histograms"][instrument.name] = {
+                    "help": instrument.help,
+                    "labels": list(instrument.labelnames),
+                    "buckets": list(instrument.buckets),
+                    "series": {
+                        key: {"counts": list(child.counts),
+                              "sum": child.sum, "count": child.count}
+                        for key, child in sorted(
+                            instrument.series().items())
+                    },
+                }
+            else:
+                bucket = data["counters" if instrument.kind == "counter"
+                              else "gauges"]
+                bucket[instrument.name] = {
+                    "help": instrument.help,
+                    "labels": list(instrument.labelnames),
+                    "series": {
+                        key: child.value
+                        for key, child in sorted(
+                            instrument.series().items())
+                    },
+                }
+        return data
+
+
+def merge_snapshots(snapshots):
+    """Fold an ordered iterable of snapshots into one.
+
+    Counters and histogram bins sum; gauges take the value of the last
+    snapshot carrying the series.  The fold is deterministic in the
+    input order — callers that need bit-identical aggregates across
+    execution modes must fix that order (e.g. sort by run id).
+    """
+    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for name, entry in snapshot.get("counters", {}).items():
+            target = merged["counters"].setdefault(
+                name, {"help": entry.get("help", ""),
+                       "labels": list(entry.get("labels", [])),
+                       "series": {}})
+            for key, value in entry["series"].items():
+                target["series"][key] = \
+                    target["series"].get(key, 0.0) + value
+        for name, entry in snapshot.get("gauges", {}).items():
+            target = merged["gauges"].setdefault(
+                name, {"help": entry.get("help", ""),
+                       "labels": list(entry.get("labels", [])),
+                       "series": {}})
+            target["series"].update(entry["series"])
+        for name, entry in snapshot.get("histograms", {}).items():
+            target = merged["histograms"].setdefault(
+                name, {"help": entry.get("help", ""),
+                       "labels": list(entry.get("labels", [])),
+                       "buckets": list(entry["buckets"]),
+                       "series": {}})
+            if target["buckets"] != list(entry["buckets"]):
+                raise ValueError(
+                    "cannot merge histogram %r: bucket mismatch" % name)
+            for key, series in entry["series"].items():
+                into = target["series"].setdefault(
+                    key, {"counts": [0] * len(series["counts"]),
+                          "sum": 0.0, "count": 0})
+                into["counts"] = [a + b for a, b in
+                                  zip(into["counts"], series["counts"])]
+                into["sum"] += series["sum"]
+                into["count"] += series["count"]
+    # canonical ordering so equal aggregates serialize identically
+    for kind in merged:
+        merged[kind] = {
+            name: {**entry,
+                   "series": dict(sorted(entry["series"].items()))}
+            for name, entry in sorted(merged[kind].items())
+        }
+    return merged
+
+
+class _NullChild:
+    """A no-op instrument child: every mutator is a cheap no-op and
+    ``labels`` returns itself, so one shared instance serves every
+    call site of a disabled registry."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+    counts = ()
+
+    def labels(self, **labelvalues):
+        return self
+
+    def inc(self, amount=1.0):
+        pass
+
+    def dec(self, amount=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+#: The shared no-op instrument.
+NULL_INSTRUMENT = _NullChild()
+
+
+class NullRegistry:
+    """The disabled backend: hands out :data:`NULL_INSTRUMENT` for
+    every request and snapshots to an empty dict."""
+
+    enabled = False
+
+    def counter(self, name, help="", labelnames=()):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labelnames=()):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labelnames=(), buckets=()):
+        return NULL_INSTRUMENT
+
+    def get(self, name):
+        return None
+
+    def __contains__(self, name):
+        return False
+
+    def __iter__(self):
+        return iter(())
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Module-level singleton; ``registry or NULL_REGISTRY`` is the idiom.
+NULL_REGISTRY = NullRegistry()
+
+
+def null_registry():
+    """The shared :class:`NullRegistry` singleton."""
+    return NULL_REGISTRY

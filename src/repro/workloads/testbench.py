@@ -82,6 +82,11 @@ class AhbSystem:
         Attach an :class:`~repro.amba.AhbWatchdog` observing the bus
         and all active masters; *watchdog_kwargs* forwards timeouts and
         the ``recover`` switch.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` bundle; when given
+        (and enabled) its kernel, bus and power hooks are installed on
+        the assembled system.  ``None`` — the default — constructs no
+        instrumentation at all.
     """
 
     def __init__(self, sources, n_slaves=3, wait_states=None,
@@ -94,7 +99,7 @@ class AhbSystem:
                  check_protocol="record", protocol_kwargs=None,
                  retry_limit=None, retry_backoff=0,
                  slave_overrides=None, watchdog=False,
-                 watchdog_kwargs=None):
+                 watchdog_kwargs=None, telemetry=None):
         if monitor_style not in MONITOR_STYLES:
             raise ValueError("unknown monitor style %r" % monitor_style)
         n_active = len(sources)
@@ -174,6 +179,10 @@ class AhbSystem:
                     self.sim, "power_monitor", self.bus, params=params,
                 )
 
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.instrument(self)
+
     # -- execution ------------------------------------------------------
 
     def run(self, duration_ps, wall_clock_budget=None):
@@ -234,7 +243,7 @@ def build_paper_testbench(seed=0, power_analysis=True,
                           wait_states=None, params=PAPER_TECHNOLOGY,
                           arbitration=Arbitration.FIXED_PRIORITY,
                           instruction_energies=None,
-                          datafile=None, checker=True):
+                          datafile=None, checker=True, telemetry=None):
     """The paper's testbench: 2 masters + default master, 3 slaves.
 
     Both masters run :class:`PaperWriteReadSource` with distinct seeds;
@@ -261,4 +270,5 @@ def build_paper_testbench(seed=0, power_analysis=True,
         monitor_style=monitor_style, params=params,
         instruction_energies=instruction_energies,
         with_traces=with_traces, datafile=datafile, checker=checker,
+        telemetry=telemetry,
     )

@@ -61,6 +61,19 @@ def strip_wall(campaign_dict):
     data["runs"] = [{key: value for key, value in run.items()
                      if key != "wall_time_s"}
                     for run in data["runs"]]
+    metrics = data.get("campaign_metrics")
+    if metrics:
+        # the merged snapshot is deterministic by contract; the summary
+        # carries the wall-clock figures (throughput, jobs)
+        data["campaign_metrics"] = {
+            "merged": metrics["merged"],
+            "summary": {
+                key: value
+                for key, value in metrics["summary"].items()
+                if key not in ("wall_time_s", "jobs",
+                               "throughput_runs_per_s")
+            },
+        }
     return data
 
 

@@ -63,6 +63,24 @@ class TestWindowing:
         with pytest.raises(ValueError):
             PowerTrace("T").windowed(0)
 
+    def test_boundary_sample_included_once(self):
+        """An event exactly on a window edge belongs to the window it
+        opens — counted once by ``windowed`` and consistently by
+        ``energy_between`` (the shared half-open ``[start, end)``
+        selection)."""
+        trace = PowerTrace("T")
+        trace.record(0, 1e-12)
+        trace.record(1000, 2e-12)    # exactly on the 2nd window's start
+        trace.record(2000, 4e-12)    # exactly on t_end: excluded
+        _, power = trace.windowed(1000, t_end=2000)
+        assert len(power) == 2
+        assert power[0] == pytest.approx(1e-12 / 1e-9)
+        assert power[1] == pytest.approx(2e-12 / 1e-9)
+        # energy_between agrees with windowed about every boundary
+        assert trace.energy_between(0, 1000) == pytest.approx(1e-12)
+        assert trace.energy_between(1000, 2000) == pytest.approx(2e-12)
+        assert trace.energy_between(2000, 3000) == pytest.approx(4e-12)
+
 
 class TestDerivedMetrics:
     def test_energy_between(self):

@@ -1,0 +1,156 @@
+"""Metrics registry tests: instruments, labels, snapshot, merge."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+    null_registry,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("txns_total",
+                                   labelnames=("master",))
+        counter.labels(master="m0").inc(3)
+        counter.labels(master="m1").inc(5)
+        series = registry.snapshot()["counters"]["txns_total"]["series"]
+        assert series == {"master=m0": 3.0, "master=m1": 5.0}
+
+    def test_labelled_parent_rejects_bare_inc(self):
+        counter = MetricsRegistry().counter("c", labelnames=("x",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c", labelnames=("x",))
+        with pytest.raises(ValueError):
+            counter.labels(y="1")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == pytest.approx(13.0)
+
+
+class TestHistograms:
+    def test_bin_placement(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        child = histogram.series()[""]
+        # <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; overflow: {500.0}
+        assert child.counts == [2, 1, 1, 1]
+        assert child.count == 5
+        assert child.sum == pytest.approx(556.5)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError):
+            registry.gauge("metric")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("metric", labelnames=("b",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert "c" in registry
+        assert registry.get("c") is counter
+        assert registry.get("missing") is None
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        registry = null_registry()
+        assert registry is NULL_REGISTRY
+        counter = registry.counter("c", labelnames=("x",))
+        counter.labels(x="1").inc(5)
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        gauge.dec()
+        registry.histogram("h", buckets=(1.0,)).observe(2)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert "c" not in registry
+        assert list(registry) == []
+
+
+class TestMerge:
+    def _snapshot(self, counter_value, gauge_value, observations):
+        registry = MetricsRegistry()
+        registry.counter("events_total",
+                         labelnames=("kind",)) \
+            .labels(kind="a").inc(counter_value)
+        registry.gauge("level").set(gauge_value)
+        histogram = registry.histogram("sizes", buckets=(1.0, 10.0))
+        for value in observations:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counters_sum_and_gauges_last_win(self):
+        merged = merge_snapshots([
+            self._snapshot(2, 10, [0.5]),
+            self._snapshot(3, 20, [5.0, 50.0]),
+        ])
+        assert merged["counters"]["events_total"]["series"] == {
+            "kind=a": 5.0}
+        assert merged["gauges"]["level"]["series"][""] == 20.0
+        sizes = merged["histograms"]["sizes"]["series"][""]
+        assert sizes["counts"] == [1, 1, 1]
+        assert sizes["count"] == 3
+
+    def test_fold_is_order_deterministic(self):
+        parts = [self._snapshot(i, i, [float(i)]) for i in range(4)]
+        assert merge_snapshots(parts) == merge_snapshots(list(parts))
+
+    def test_bucket_mismatch_rejected(self):
+        left = self._snapshot(1, 1, [1.0])
+        right = self._snapshot(1, 1, [1.0])
+        right["histograms"]["sizes"]["buckets"] = [2.0, 20.0]
+        with pytest.raises(ValueError):
+            merge_snapshots([left, right])
+
+    def test_merge_empty(self):
+        assert merge_snapshots([]) == {
+            "counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,151 @@
+"""Tracer tests: spans, export round-trip, validation, null backend."""
+
+import json
+
+import pytest
+
+from repro.telemetry import NULL_TRACER, Tracer, validate_chrome_trace
+
+
+def sample_tracer():
+    tracer = Tracer()
+    track = tracer.track("bus", "master0")
+    track.begin("transfer", 1000, cat="bus.master")
+    track.instant("wait", 2000, cat="bus.wait")
+    track.end(3000)
+    power = tracer.track("power", "power_fsm")
+    power.begin("WRITE", 0)
+    power.end(5000)
+    power.counter("energy_j", 5000, {"ARB": 1e-12, "M2S": 2e-12})
+    return tracer
+
+
+class TestTracks:
+    def test_span_pairing(self):
+        tracer = sample_tracer()
+        phases = [event.phase for event in tracer.events]
+        assert phases.count("B") == phases.count("E") == 2
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().track("p", "t").end(0)
+
+    def test_nested_spans_close_innermost_first(self):
+        tracer = Tracer()
+        track = tracer.track("p", "t")
+        track.begin("outer", 0)
+        track.begin("inner", 10)
+        track.end(20)
+        track.end(30)
+        names = [event.name for event in tracer.events
+                 if event.phase == "E"]
+        assert names == ["inner", "outer"]
+
+    def test_finish_closes_open_spans(self):
+        tracer = Tracer()
+        track = tracer.track("p", "t")
+        track.begin("dangling", 0)
+        tracer.finish(999)
+        assert not track.open_spans
+        last = tracer.events[-1]
+        assert last.phase == "E" and last.ts_ps == 999
+
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        track = tracer.track("p", "t")
+        for index in range(5):
+            track.instant("i%d" % index, index)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_dual_timebase_recorded(self):
+        tracer = sample_tracer()
+        for event in tracer.events:
+            assert event.wall_ns >= 0
+            assert isinstance(event.ts_ps, int)
+
+
+class TestChromeExport:
+    def test_round_trip_valid(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        sample_tracer().write_chrome(path)
+        assert validate_chrome_trace(path) == []
+        payload = json.loads(open(path).read())
+        assert payload["otherData"]["timebase"] == "sim"
+
+    def test_wall_timebase_valid(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        sample_tracer().write_chrome(path, timebase="wall")
+        assert validate_chrome_trace(path) == []
+
+    def test_bad_timebase_rejected(self):
+        with pytest.raises(ValueError):
+            sample_tracer().chrome_events(timebase="lunar")
+
+    def test_metadata_names_tracks(self):
+        events = sample_tracer().chrome_events()
+        meta = [event for event in events if event["ph"] == "M"]
+        names = {event["args"]["name"] for event in meta}
+        assert {"bus", "power", "master0", "power_fsm"} <= names
+
+    def test_ts_monotonic_and_microseconds(self):
+        events = [event for event in sample_tracer().chrome_events()
+                  if event["ph"] != "M"]
+        ts = [event["ts"] for event in events]
+        assert ts == sorted(ts)
+        # 1000 ps == 0.001 us
+        begin = next(event for event in events
+                     if event["name"] == "transfer")
+        assert begin["ts"] == pytest.approx(1e-3)
+
+    def test_instants_are_thread_scoped(self):
+        events = sample_tracer().chrome_events()
+        instant = next(event for event in events
+                       if event["ph"] == "i")
+        assert instant["s"] == "t"
+
+    def test_validator_flags_unmatched_end(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "x", "ph": "E", "ts": 0, "pid": 1, "tid": 1},
+        ]}))
+        problems = validate_chrome_trace(str(path))
+        assert any("unmatched E" in problem for problem in problems)
+
+    def test_validator_flags_non_monotonic(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "i", "ts": 1, "pid": 1, "tid": 1},
+        ]}))
+        problems = validate_chrome_trace(str(path))
+        assert any("monotonic" in problem for problem in problems)
+
+    def test_validator_flags_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert validate_chrome_trace(str(path))
+
+
+class TestJsonlExport:
+    def test_one_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = sample_tracer()
+        tracer.write_jsonl(path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == len(tracer.events)
+        first = json.loads(lines[0])
+        assert first["ts_ps"] == 1000
+        assert "wall_ns" in first
+
+
+class TestNullTracer:
+    def test_noop_and_shared(self):
+        track = NULL_TRACER.track("p", "t")
+        assert track is NULL_TRACER.track("other", "lane")
+        track.begin("x", 0)
+        track.end(1)
+        track.instant("y", 2)
+        track.counter("c", 3, {})
+        assert len(NULL_TRACER) == 0
+        NULL_TRACER.finish(100)
