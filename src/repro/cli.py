@@ -15,6 +15,8 @@
     python -m repro.cli faults --jobs 4 --timeout 30 \\
         --journal campaign.jsonl --resume
     python -m repro.cli replay campaign.trace.json --shrink
+    python -m repro.cli fuzz --corpus corpus/ --budget 1000 --seed 7 \\
+        --jobs 4 --coverage-out coverage.json
     python -m repro.cli telemetry --duration-us 20 \\
         --trace-out trace.json --json metrics.json
 
@@ -189,6 +191,49 @@ def _cmd_faults(args):
                            for run in bad)),
               file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_fuzz(args):
+    import json as _json
+
+    from .fuzz import FuzzConfig, run_fuzz_campaign
+    from .workloads import SCENARIOS
+    for scenario in args.scenario or ():
+        if scenario not in SCENARIOS:
+            print("unknown scenario %r (available: %s)"
+                  % (scenario, ", ".join(sorted(SCENARIOS))),
+                  file=sys.stderr)
+            return 2
+    config = FuzzConfig(
+        budget=args.budget, seed=args.seed, jobs=args.jobs,
+        timeout=args.timeout, scenarios=args.scenario,
+        duration_us=args.duration_us, batch_size=args.batch,
+        shrink=not args.no_shrink,
+        reproducer_dir=args.reproducers,
+        coverage_out=args.coverage_out,
+        max_sim_us=args.sim_budget_us,
+        wall_budget_s=args.time_budget,
+        resume=args.resume,
+    )
+    report = run_fuzz_campaign(args.corpus, config)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.json, file=sys.stderr)
+    if report.interrupted:
+        print("fuzz campaign INTERRUPTED: state flushed; continue "
+              "with --resume", file=sys.stderr)
+        return 130
+    if report.unshrunk:
+        print("fuzz campaign FAILED: %d failure(s) without a minimal "
+              "reproducer (%s)"
+              % (len(report.unshrunk),
+                 ", ".join(failure["signature"]
+                           for failure in report.unshrunk)),
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_telemetry(args):
@@ -436,6 +481,64 @@ def build_parser():
     replay_parser.add_argument("--json",
                                help="also write a JSON report")
     replay_parser.set_defaults(fn=_cmd_replay)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="run a coverage-guided protocol fuzz campaign: mutate "
+             "traffic/fault genomes, steer by novel coverage, shrink "
+             "every new failure into a reproducer")
+    fuzz_parser.add_argument(
+        "--corpus", required=True, metavar="DIR",
+        help="corpus directory (created if missing; holds genomes, "
+             "coverage.json and the resumable state.json)")
+    fuzz_parser.add_argument(
+        "--budget", type=int, default=100, metavar="N",
+        help="total candidate executions (cumulative across --resume)")
+    fuzz_parser.add_argument("--seed", type=int, default=1,
+                             help="base seed — the campaign's only "
+                                  "entropy source")
+    fuzz_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="supervised-executor worker processes (corpus evolution "
+             "is bit-identical for any value)")
+    fuzz_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget for candidate executions")
+    fuzz_parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario seeding an empty corpus (repeatable; default: "
+             "every registered scenario)")
+    fuzz_parser.add_argument("--duration-us", type=float, default=20.0,
+                             help="simulated window of seed genomes")
+    fuzz_parser.add_argument("--batch", type=int, default=8,
+                             metavar="N",
+                             help="candidates generated per executor "
+                                  "batch")
+    fuzz_parser.add_argument(
+        "--resume", action="store_true",
+        help="restore the corpus state.json and continue the campaign")
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="record failures without ddmin-minimising them "
+             "(every failure then gates the exit code)")
+    fuzz_parser.add_argument(
+        "--reproducers", metavar="DIR",
+        help="where shrunk reproducer traces + generated regression "
+             "tests go (default: CORPUS/reproducers)")
+    fuzz_parser.add_argument(
+        "--coverage-out", metavar="PATH",
+        help="also write the final coverage map to PATH")
+    fuzz_parser.add_argument(
+        "--sim-budget-us", type=float, default=None, metavar="US",
+        help="stop once this much simulated time has been spent")
+    fuzz_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new batches after this many host seconds "
+             "(CI smoke-test bound; makes the corpus host-dependent)")
+    fuzz_parser.add_argument("--json",
+                             help="also write the campaign report "
+                                  "as JSON")
+    fuzz_parser.set_defaults(fn=_cmd_fuzz)
 
     telemetry_parser = sub.add_parser(
         "telemetry",

@@ -86,13 +86,19 @@ class ExecutorConfig:
         workers — else the platform default).
     poll_interval:
         Supervisor result-pump granularity in seconds.
+    collect_coverage:
+        Ask every worker to instrument its run with the fuzz coverage
+        probe (:mod:`repro.fuzz.coverage`) and attach the sorted
+        coverage keys to the run result.  Observe-only: per-run
+        fingerprints are unchanged.
     """
 
     def __init__(self, jobs=1, timeout=None, journal=None, resume=False,
                  max_attempts=2, quarantine=True, max_worker_restarts=3,
                  deadline_grace=1.0, heartbeat_interval=0.1,
                  heartbeat_timeout=30.0, artefact_dir=None,
-                 start_method=None, poll_interval=0.05):
+                 start_method=None, poll_interval=0.05,
+                 collect_coverage=False):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.journal = journal
@@ -106,6 +112,7 @@ class ExecutorConfig:
         self.artefact_dir = artefact_dir
         self.start_method = start_method
         self.poll_interval = poll_interval
+        self.collect_coverage = collect_coverage
 
     @property
     def hard_deadline(self):
@@ -586,8 +593,11 @@ class CampaignExecutor:
     # -- shared bookkeeping ---------------------------------------------
 
     def _payload(self, run):
-        return {"run": run.run_id, "scenario": run.scenario,
-                "fault": run.fault, "spec": run.spec.to_dict()}
+        payload = {"run": run.run_id, "scenario": run.scenario,
+                   "fault": run.fault, "spec": run.spec.to_dict()}
+        if self.config.collect_coverage:
+            payload["coverage"] = True
+        return payload
 
     def _record_result(self, run, result):
         self.report.results[run.run_id] = result

@@ -32,7 +32,15 @@ FORMAT = "repro-exec-journal/1"
 
 class JournalError(ValueError):
     """The journal file is unusable (interior corruption, wrong format,
-    or it records a different campaign than the one being resumed)."""
+    or it records a different campaign than the one being resumed).
+
+    ``line`` is the 1-based journal line the error points at, or
+    ``None`` when the problem is not tied to a single line.
+    """
+
+    def __init__(self, message, line=None):
+        super().__init__(message)
+        self.line = line
 
 
 class JournalState:
@@ -104,7 +112,8 @@ def load_journal(path):
                 break
             raise JournalError(
                 "corrupt journal line %d in %s (only the trailing "
-                "line may be truncated)" % (index + 1, path)
+                "line may be truncated)" % (index + 1, path),
+                line=index + 1,
             ) from None
         state.apply(record)
     header = state.header

@@ -49,14 +49,22 @@ def execute_payload(payload, wall_clock_budget=None):
     from ..replay import RunSpec, execute
     from ..telemetry import metrics_for_result
 
+    probe = None
+    if payload.get("coverage"):
+        from ..fuzz.coverage import CoverageProbe
+        probe = CoverageProbe()
     spec = RunSpec.from_dict(payload["spec"])
     start = time.monotonic()
-    system, outcome = execute(spec, wall_clock_budget=wall_clock_budget)
+    system, outcome = execute(
+        spec, wall_clock_budget=wall_clock_budget,
+        instrument=probe.install if probe is not None else None)
     result = result_from_execution(
         payload["scenario"], payload["fault"], system, outcome,
         spec=spec, wall_time_s=time.monotonic() - start,
     )
     result.metrics = metrics_for_result(result)
+    if probe is not None:
+        result.coverage = probe.coverage_keys(system, outcome)
     return result.to_dict()
 
 

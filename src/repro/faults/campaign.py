@@ -132,7 +132,8 @@ class FaultRunResult:
                  overhead_energy=0.0, energy_per_txn=0.0,
                  baseline_energy_per_txn=0.0, detail="",
                  traceback=None, spec=None, fingerprint=None,
-                 attempts=1, wall_time_s=0.0, metrics=None):
+                 attempts=1, wall_time_s=0.0, metrics=None,
+                 coverage=None):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
@@ -170,6 +171,10 @@ class FaultRunResult:
         #: :func:`repro.telemetry.metrics_for_result`); None for
         #: results produced before the telemetry layer existed.
         self.metrics = metrics
+        #: Sorted coverage keys observed by the fuzz probe (see
+        #: :mod:`repro.fuzz.coverage`); None unless the run executed
+        #: with coverage collection enabled.
+        self.coverage = list(coverage) if coverage is not None else None
 
     @property
     def run_id(self):
@@ -208,6 +213,7 @@ class FaultRunResult:
             "attempts": self.attempts,
             "wall_time_s": self.wall_time_s,
             "metrics": self.metrics,
+            "coverage": self.coverage,
         }
 
     @classmethod
@@ -225,7 +231,7 @@ class FaultRunResult:
                  "aborted", "watchdog_events", "recoveries",
                  "violations", "rules_tripped", "recovery_compliant",
                  "detail", "traceback", "spec", "fingerprint",
-                 "attempts", "wall_time_s", "metrics")
+                 "attempts", "wall_time_s", "metrics", "coverage")
         kwargs = {}
         for key, value in data.items():
             key = renames.get(key, key)

@@ -1,0 +1,166 @@
+"""Deterministic, seed-stable fuzz corpus store.
+
+A corpus is a directory of JSON files, one per admitted genome:
+
+* ``<entry_id>.json`` — the genome's :class:`~repro.replay.RunSpec`,
+  its observed coverage keys and its provenance (parent entry, mutator
+  name, admission index);
+* ``coverage.json`` — the campaign-wide
+  :class:`~repro.fuzz.coverage.CoverageMap`;
+* ``state.json`` — the engine's resumable campaign state (RNG state,
+  budget accounting, seen failure signatures).
+
+Entry ids are the first 16 hex digits of the SHA-256 of the spec's
+canonical JSON identity (:meth:`RunSpec.key`), admission order is the
+persisted ``index``, and every file is written with sorted keys — so
+two campaigns from the same base seed and seed corpus leave
+byte-identical directories, regardless of worker count (the
+reproducibility contract ``tests/test_fuzz_engine.py`` locks in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..replay import RunSpec
+
+#: Corpus entry file format marker.
+FORMAT = "repro-fuzz-corpus/1"
+
+#: Directory files that are not corpus entries.
+RESERVED = ("state.json", "coverage.json", "report.json")
+
+
+def entry_id_for(spec):
+    """Stable content-derived identity of a genome."""
+    return hashlib.sha256(
+        spec.key().encode("utf-8")).hexdigest()[:16]
+
+
+class CorpusEntry:
+    """One admitted genome with coverage and mutation provenance."""
+
+    __slots__ = ("spec", "coverage", "parent", "mutator", "novel",
+                 "outcome", "index")
+
+    def __init__(self, spec, coverage=(), parent=None, mutator=None,
+                 novel=(), outcome=None, index=0):
+        self.spec = spec
+        #: Sorted coverage keys the genome's execution produced.
+        self.coverage = list(coverage)
+        #: Entry id of the genome this one was mutated from (None for
+        #: campaign seeds).
+        self.parent = parent
+        #: Mutator name that produced it (None for campaign seeds).
+        self.mutator = mutator
+        #: Coverage keys that were novel at admission time.
+        self.novel = list(novel)
+        #: Campaign outcome class of the admitting execution.
+        self.outcome = outcome
+        #: Admission sequence number (drives deterministic ordering).
+        self.index = index
+
+    @property
+    def entry_id(self):
+        return entry_id_for(self.spec)
+
+    def to_dict(self):
+        return {
+            "format": FORMAT,
+            "id": self.entry_id,
+            "index": self.index,
+            "parent": self.parent,
+            "mutator": self.mutator,
+            "outcome": self.outcome,
+            "coverage": list(self.coverage),
+            "novel": list(self.novel),
+            "spec": self.spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("format") != FORMAT:
+            raise ValueError("not a %s corpus entry (format=%r)"
+                             % (FORMAT, data.get("format")))
+        return cls(
+            RunSpec.from_dict(data["spec"]),
+            coverage=data.get("coverage", ()),
+            parent=data.get("parent"),
+            mutator=data.get("mutator"),
+            novel=data.get("novel", ()),
+            outcome=data.get("outcome"),
+            index=data.get("index", 0),
+        )
+
+    def __repr__(self):
+        return "CorpusEntry(%s, mutator=%s, |coverage|=%d)" % (
+            self.entry_id, self.mutator, len(self.coverage))
+
+
+class Corpus:
+    """The on-disk corpus: admitted entries in admission order."""
+
+    def __init__(self, root):
+        self.root = root
+        #: entry id -> :class:`CorpusEntry`.
+        self.entries = {}
+        #: Entry ids in admission order.
+        self.order = []
+
+    def __len__(self):
+        return len(self.order)
+
+    def __contains__(self, entry_id):
+        return entry_id in self.entries
+
+    def __iter__(self):
+        """Entries in admission order."""
+        return (self.entries[entry_id] for entry_id in self.order)
+
+    @property
+    def next_index(self):
+        if not self.order:
+            return 0
+        return self.entries[self.order[-1]].index + 1
+
+    def add(self, entry, persist=True):
+        """Admit *entry* (stamping its admission index); ``False`` if an
+        identical genome is already in the corpus."""
+        entry_id = entry.entry_id
+        if entry_id in self.entries:
+            return False
+        entry.index = self.next_index
+        self.entries[entry_id] = entry
+        self.order.append(entry_id)
+        if persist:
+            self._write(entry)
+        return True
+
+    def _write(self, entry):
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, entry.entry_id + ".json")
+        with open(path, "w") as fh:
+            json.dump(entry.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, root):
+        """Load every entry file under *root* (missing directory ⇒
+        empty corpus), ordered by persisted admission index."""
+        corpus = cls(root)
+        if not os.path.isdir(root):
+            return corpus
+        entries = []
+        for name in sorted(os.listdir(root)):
+            if not name.endswith(".json") or name in RESERVED:
+                continue
+            with open(os.path.join(root, name)) as fh:
+                entries.append(CorpusEntry.from_dict(json.load(fh)))
+        entries.sort(key=lambda entry: entry.index)
+        for entry in entries:
+            entry_id = entry.entry_id
+            corpus.entries[entry_id] = entry
+            corpus.order.append(entry_id)
+        return corpus

@@ -1,0 +1,189 @@
+"""Coverage signals steering the fuzz campaign.
+
+A fuzz run is interesting when it exercises *behaviour* the corpus has
+not exhibited before.  Behaviour is abstracted into a set of string
+**coverage keys**, all derived from deterministic simulation-domain
+quantities (never host time), so the key set — like the run fingerprint
+— is a pure function of the :class:`~repro.replay.RunSpec`:
+
+``rule:<rule_id>``
+    a compliance-rule arm fired (the oracle's 14-rule catalogue);
+``mandatory-broken``
+    at least one spec-requirement rule fired;
+``outcome:<class>``
+    the campaign outcome classification of the run;
+``bus:<HTRANS>-><HTRANS>``
+    committed HTRANS state-transition pairs on consecutive bus cycles;
+``burst:<HBURST>``
+    burst kinds observed on active transfers;
+``resp:<HRESP>``
+    non-OKAY response kinds observed;
+``power:<MODE>-><MODE>``
+    power-FSM state-transition pairs (the paper's §5.2 bus-activity
+    machine);
+``lat:m<i>:le<N>``
+    per-master transaction latency, power-of-two cycle buckets.
+
+:class:`CoverageProbe` installs the observe-only hooks on an assembled
+system (via :func:`repro.replay.execute`'s ``instrument`` callback) and
+extracts the key set afterwards; :class:`CoverageMap` is the campaign-
+wide accumulation the engine steers by.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..amba.types import HBURST, HRESP, HTRANS, is_active
+from ..kernel import Module
+
+#: Coverage-map file format marker.
+FORMAT = "repro-fuzz-coverage/1"
+
+
+class _BusCoverageMonitor(Module):
+    """Observe-only per-cycle monitor: HTRANS transition pairs, burst
+    kinds and non-OKAY response kinds on the committed bus signals."""
+
+    def __init__(self, sim, name, clk, bus, keys, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.bus = bus
+        self.keys = keys
+        self._prev_htrans = None
+        self.method(self._on_clk, [clk.posedge], name="cover",
+                    initialize=False)
+
+    def _on_clk(self):
+        bus = self.bus
+        htrans = bus.htrans.value
+        if self._prev_htrans is not None \
+                and htrans != self._prev_htrans:
+            self.keys.add("bus:%s->%s" % (HTRANS(self._prev_htrans).name,
+                                          HTRANS(htrans).name))
+        self._prev_htrans = htrans
+        if is_active(htrans):
+            self.keys.add("burst:%s" % HBURST(bus.hburst.value).name)
+        hresp = bus.hresp.value
+        if hresp != int(HRESP.OKAY):
+            self.keys.add("resp:%s" % HRESP(hresp).name)
+
+
+class _PowerCoverage:
+    """Power-FSM tracer hook recording state-transition pairs.
+
+    Chains to any tracer already attached so telemetry and coverage can
+    coexist on one monitor.
+    """
+
+    def __init__(self, keys, chained=None):
+        self.keys = keys
+        self.chained = chained
+        self._prev = None
+
+    def on_step(self, time_ps, mode, instruction, block_energies,
+                total, response):
+        if self._prev is not None and mode is not self._prev:
+            self.keys.add("power:%s->%s" % (self._prev.name, mode.name))
+        self._prev = mode
+        if self.chained is not None:
+            self.chained.on_step(time_ps, mode, instruction,
+                                 block_energies, total, response)
+
+
+def _latency_bucket(cycles):
+    """Power-of-two bucket label covering *cycles* (``le1``, ``le2``,
+    ``le4`` …)."""
+    bound = 1
+    while cycles > bound:
+        bound *= 2
+    return "le%d" % bound
+
+
+class CoverageProbe:
+    """One run's coverage collector.
+
+    ``install`` is handed to :func:`repro.replay.execute` as the
+    ``instrument`` callback; ``coverage_keys`` condenses the observed
+    behaviour plus the run outcome into the sorted key list.
+    """
+
+    def __init__(self):
+        self.keys = set()
+        self._installed = False
+
+    def install(self, system):
+        """Attach the bus monitor and power-FSM hook to *system*."""
+        self._installed = True
+        _BusCoverageMonitor(system.sim, "fuzz_coverage", system.clk,
+                            system.bus, self.keys)
+        if system.monitor is not None:
+            fsm = system.monitor.fsm
+            fsm.tracer = _PowerCoverage(self.keys, chained=fsm.tracer)
+
+    def coverage_keys(self, system, outcome):
+        """The sorted coverage key list of one executed run."""
+        keys = set(self.keys)
+        keys.add("outcome:%s" % outcome.outcome)
+        for rule in outcome.rules_tripped or ():
+            keys.add("rule:%s" % rule)
+        if not outcome.recovery_compliant:
+            keys.add("mandatory-broken")
+        if system is not None:
+            period = system.clk.period
+            for index, master in enumerate(system.masters):
+                for txn in master.completed:
+                    if txn.issue_time is None \
+                            or txn.complete_time is None:
+                        continue
+                    cycles = max(1, round(
+                        (txn.complete_time - txn.issue_time) / period))
+                    keys.add("lat:m%d:%s"
+                             % (index, _latency_bucket(cycles)))
+        return sorted(keys)
+
+
+class CoverageMap:
+    """Campaign-wide coverage accumulation: key -> hit count."""
+
+    def __init__(self, counts=None):
+        self.counts = dict(counts or {})
+
+    def __len__(self):
+        return len(self.counts)
+
+    def __contains__(self, key):
+        return key in self.counts
+
+    def add(self, keys):
+        """Fold one run's *keys* in; return the sorted novel subset."""
+        new = sorted(key for key in keys if key not in self.counts)
+        for key in keys:
+            self.counts[key] = self.counts.get(key, 0) + 1
+        return new
+
+    def rarity(self, keys):
+        """Inverse-frequency score of *keys* (rarer coverage scores
+        higher; used to weight corpus-entry selection)."""
+        return sum(1.0 / self.counts[key] for key in keys
+                   if key in self.counts)
+
+    def to_dict(self):
+        return {"format": FORMAT,
+                "coverage": dict(sorted(self.counts.items()))}
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("format") != FORMAT:
+            raise ValueError("not a %s coverage map (format=%r)"
+                             % (FORMAT, data.get("format")))
+        return cls(data.get("coverage", {}))
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,202 @@
+"""Structured mutators over RunSpec-encodable fuzz genomes.
+
+The genome **is** a :class:`~repro.replay.RunSpec`: scenario name plus
+traffic-shape overrides (``scenario_kwargs``), resilience knobs, seeds
+and the fault schedule.  Every mutator is a pure function
+``(spec, rng) -> RunSpec | None`` — ``None`` means "not applicable to
+this genome" (e.g. deleting a fault from an empty schedule) and the
+engine redraws.  All randomness comes from the passed ``rng`` so a
+campaign's evolution is a pure function of its base seed.
+
+Catalogue (see ``docs/RESILIENCE.md`` §6):
+
+========================  =============================================
+``burst-reshape``         DMA master burst kind (SINGLE … INCR16)
+``wait-jitter``           per-slave wait-state vector
+``arbitration-flip``      fixed-priority / round-robin / TDMA
+``idle-scale``            traffic density (idle-gap multiplier)
+``fault-insert``          add a behavioural or signal-level fault
+``fault-delete``          drop one scheduled fault
+``fault-shift``           retime one scheduled fault
+``duration-jitter``       stretch/compress the simulated window
+``seed-drift``            new stimulus or injector seed
+``resilience-knobs``      retry limit/backoff, watchdog thresholds
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from ..amba import Arbitration
+from ..faults.campaign import FAULT_MODES
+from ..replay.trace import SIGNAL_KINDS, FaultEntry
+
+#: Bus signal attribute -> bit width, for signal-level fault targets.
+SIGNAL_WIDTHS = {
+    "htrans": 2,
+    "haddr": 32,
+    "hwrite": 1,
+    "hsize": 3,
+    "hburst": 3,
+    "hwdata": 32,
+}
+
+#: Schedule-length ceiling — keeps genomes shrinkable and runs bounded.
+MAX_FAULTS = 4
+
+#: Simulated-duration clamp (µs).
+MIN_DURATION_US = 5.0
+MAX_DURATION_US = 60.0
+
+_IDLE_SCALES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+_DURATION_FACTORS = (0.5, 0.75, 1.25, 1.5)
+
+#: Picoseconds per microsecond (fault windows are kernel-time ps).
+_PS_PER_US = 1_000_000
+
+
+def _set_kwarg(spec, key, value):
+    kwargs = dict(spec.scenario_kwargs)
+    if kwargs.get(key) == value:
+        return None
+    kwargs[key] = value
+    return spec.replace(scenario_kwargs=kwargs)
+
+
+def burst_reshape(spec, rng):
+    """Reshape the scenario's DMA burst kind (HBURST code 0..7)."""
+    return _set_kwarg(spec, "dma_burst", rng.randrange(8))
+
+
+def wait_jitter(spec, rng):
+    """Redraw the per-slave wait-state vector (0..3 cycles each)."""
+    waits = [rng.randrange(4) for _ in range(3)]
+    return _set_kwarg(spec, "wait_states", waits)
+
+
+def arbitration_flip(spec, rng):
+    """Switch the arbiter policy."""
+    return _set_kwarg(spec, "arbitration", rng.choice(Arbitration.ALL))
+
+
+def idle_scale(spec, rng):
+    """Stretch or compress every source's idle gaps."""
+    return _set_kwarg(spec, "idle_scale", rng.choice(_IDLE_SCALES))
+
+
+def fault_insert(spec, rng):
+    """Schedule one more behavioural or signal-level fault."""
+    if len(spec.faults) >= MAX_FAULTS:
+        return None
+    if rng.random() < 0.5:
+        entry = FaultEntry.behavioural(
+            rng.choice(sorted(FAULT_MODES)),
+            slave=rng.randrange(3),
+            trigger_after=rng.randrange(256),
+        )
+    else:
+        signal = rng.choice(sorted(SIGNAL_WIDTHS))
+        duration_ps = int(spec.duration_us * _PS_PER_US)
+        start = rng.randrange(max(1, duration_ps // 2))
+        entry = FaultEntry.signal_fault(
+            rng.choice(SIGNAL_KINDS), signal,
+            bit=rng.randrange(SIGNAL_WIDTHS[signal]),
+            value=rng.randrange(2),
+            cycles=rng.randrange(1, 5),
+            start_ps=start,
+            end_ps=start + rng.randrange(1, duration_ps // 2 + 1),
+        )
+    faults = [fault.to_dict() for fault in spec.faults]
+    faults.append(entry.to_dict())
+    return spec.replace(faults=faults)
+
+
+def fault_delete(spec, rng):
+    """Unschedule one fault."""
+    if not spec.faults:
+        return None
+    faults = [fault.to_dict() for fault in spec.faults]
+    faults.pop(rng.randrange(len(faults)))
+    return spec.replace(faults=faults)
+
+
+def fault_shift(spec, rng):
+    """Retime one fault (arming delay or injection window)."""
+    if not spec.faults:
+        return None
+    faults = [fault.to_dict() for fault in spec.faults]
+    entry = faults[rng.randrange(len(faults))]
+    if entry["kind"] == "behavioural":
+        entry["trigger_after"] = rng.randrange(256)
+    else:
+        duration_ps = int(spec.duration_us * _PS_PER_US)
+        shift = rng.randrange(duration_ps // 4 + 1)
+        entry["start_ps"] = shift
+        if entry.get("end_ps") is not None:
+            width = max(1, entry["end_ps"] - entry.get("start_ps", 0))
+            entry["end_ps"] = shift + width
+    return spec.replace(faults=faults)
+
+
+def duration_jitter(spec, rng):
+    """Stretch/compress the simulated window (clamped)."""
+    factor = rng.choice(_DURATION_FACTORS)
+    duration = min(MAX_DURATION_US,
+                   max(MIN_DURATION_US, spec.duration_us * factor))
+    if duration == spec.duration_us:
+        return None
+    return spec.replace(duration_us=duration)
+
+
+def seed_drift(spec, rng):
+    """Redraw the stimulus seed (or, 1-in-4, the injector seed)."""
+    if rng.random() < 0.25:
+        return spec.replace(injector_seed=rng.randrange(1 << 16))
+    return spec.replace(seed=rng.randrange(1, 1 << 16))
+
+
+def resilience_knobs(spec, rng):
+    """Perturb retry policy and watchdog thresholds."""
+    knobs = dict(spec.watchdog_kwargs)
+    knobs["hready_timeout"] = rng.choice((4, 8, 16, 32))
+    knobs["retry_budget"] = rng.choice((2, 4, 6, 12))
+    knobs["split_timeout"] = rng.choice((16, 32, 64, 128))
+    knobs.setdefault("recover", True)
+    return spec.replace(
+        retry_limit=rng.choice((1, 2, 4, 8, 16)),
+        retry_backoff=rng.choice((1, 2, 4)),
+        watchdog_kwargs=knobs,
+    )
+
+
+#: The catalogue, in documentation order (names are stable — they are
+#: recorded in corpus entry provenance).
+MUTATORS = (
+    ("burst-reshape", burst_reshape),
+    ("wait-jitter", wait_jitter),
+    ("arbitration-flip", arbitration_flip),
+    ("idle-scale", idle_scale),
+    ("fault-insert", fault_insert),
+    ("fault-delete", fault_delete),
+    ("fault-shift", fault_shift),
+    ("duration-jitter", duration_jitter),
+    ("seed-drift", seed_drift),
+    ("resilience-knobs", resilience_knobs),
+)
+
+MUTATOR_NAMES = tuple(name for name, _ in MUTATORS)
+
+
+def mutate(spec, rng, attempts=8):
+    """Apply one applicable mutator drawn from *rng*.
+
+    Returns ``(mutator_name, new_spec)``.  Inapplicable or no-op draws
+    are retried up to *attempts* times, then fall back to ``seed-drift``
+    (always applicable), so the engine never stalls on a degenerate
+    genome.
+    """
+    for _ in range(attempts):
+        name, mutator = MUTATORS[rng.randrange(len(MUTATORS))]
+        mutated = mutator(spec, rng)
+        if mutated is not None:
+            return name, mutated
+    return "seed-drift", seed_drift(spec, rng)

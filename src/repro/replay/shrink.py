@@ -16,11 +16,14 @@ the shrinker searches for a *minimal reproducer*:
 
 "Failure still reproduces" is a predicate over the re-executed
 :class:`~repro.replay.trace.RunOutcome`; the default predicate keys on
-the original failure's signature (same first-violated rule, or the
-same failing outcome class) rather than the full fingerprint, so a
-shrunk run may legitimately fail *earlier*.  Every candidate execution
-is cached by canonical spec identity — ddmin revisits subsets freely
-without re-simulating.
+the original failure's *signature* rather than the full fingerprint, so
+a shrunk run may legitimately fail *earlier*.  The signature pins the
+specific bug, not just "any failure": a rule violation is identified by
+its ``rule_id`` plus its tier (mandatory/advisory), and a crash by its
+exception type — with several co-occurring violations, ddmin cannot
+slide from the original bug onto a different one mid-shrink.  Every
+candidate execution is cached by canonical spec identity — ddmin
+revisits subsets freely without re-simulating.
 """
 
 from __future__ import annotations
@@ -28,12 +31,34 @@ from __future__ import annotations
 from .trace import execute
 
 
+def _violation_kind(rule_id):
+    """``"mandatory"`` / ``"advisory"`` tier of *rule_id* (unknown
+    custom rules count as mandatory, mirroring the catalogue)."""
+    from ..protocol.rules import is_mandatory
+    return "mandatory" if is_mandatory(rule_id) else "advisory"
+
+
+def _crash_type(detail):
+    """The exception type of a contained crash (its ``detail`` is
+    formatted ``"TypeName: message"`` by :func:`~repro.replay.execute`)."""
+    head = (detail or "").split(":", 1)[0].strip()
+    return head or "unknown"
+
+
 def failure_signature(outcome):
-    """The facet of *outcome* a shrunk reproducer must preserve."""
+    """The facet of *outcome* a shrunk reproducer must preserve.
+
+    Keys on the specific tripped ``rule_id`` and its violation kind
+    (mandatory/advisory), on the broken-containment state, or — for
+    crashes — on the exception type, so each signature names one bug.
+    """
     if outcome.first_violation_rule is not None:
-        return ("rule", outcome.first_violation_rule)
+        rule = outcome.first_violation_rule
+        return ("rule", rule, _violation_kind(rule))
     if not outcome.recovery_compliant:
         return ("non-compliant",)
+    if outcome.outcome == "crashed":
+        return ("outcome", "crashed", _crash_type(outcome.detail))
     return ("outcome", outcome.outcome)
 
 
@@ -45,6 +70,11 @@ def default_predicate(original):
         return lambda outcome: rule in outcome.rules_tripped
     if signature[0] == "non-compliant":
         return lambda outcome: not outcome.recovery_compliant
+    if signature[1] == "crashed":
+        crash_type = signature[2]
+        return lambda outcome: (outcome.outcome == "crashed"
+                                and _crash_type(outcome.detail)
+                                == crash_type)
     failing_outcome = signature[1]
     return lambda outcome: outcome.outcome == failing_outcome
 

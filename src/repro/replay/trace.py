@@ -113,12 +113,13 @@ class RunSpec:
     __slots__ = ("scenario", "seed", "duration_us", "faults",
                  "retry_limit", "retry_backoff", "watchdog",
                  "watchdog_kwargs", "check_protocol", "protocol_kwargs",
-                 "injector_seed")
+                 "injector_seed", "scenario_kwargs")
 
     def __init__(self, scenario, seed=1, duration_us=20.0, faults=(),
                  retry_limit=8, retry_backoff=2, watchdog=True,
                  watchdog_kwargs=None, check_protocol="record",
-                 protocol_kwargs=None, injector_seed=0):
+                 protocol_kwargs=None, injector_seed=0,
+                 scenario_kwargs=None):
         self.scenario = scenario
         self.seed = seed
         self.duration_us = duration_us
@@ -132,6 +133,10 @@ class RunSpec:
         self.check_protocol = check_protocol
         self.protocol_kwargs = dict(protocol_kwargs or {})
         self.injector_seed = injector_seed
+        #: JSON-able scenario-builder overrides (wait states,
+        #: arbitration, burst shape …) — the fuzz genome's traffic
+        #: knobs.  Empty for classic campaign specs.
+        self.scenario_kwargs = dict(scenario_kwargs or {})
 
     def replace(self, **changes):
         """A copy of this spec with *changes* applied (shrinker steps)."""
@@ -157,6 +162,7 @@ class RunSpec:
             "check_protocol": self.check_protocol,
             "protocol_kwargs": dict(self.protocol_kwargs),
             "injector_seed": self.injector_seed,
+            "scenario_kwargs": dict(self.scenario_kwargs),
         }
 
     @classmethod
@@ -250,7 +256,7 @@ class RunOutcome:
         )
 
 
-def execute(spec, wall_clock_budget=None):
+def execute(spec, wall_clock_budget=None, instrument=None):
     """Re-execute *spec* on the kernel; return ``(system, outcome)``.
 
     Simulator exceptions are contained into the outcome (``crashed``,
@@ -258,7 +264,10 @@ def execute(spec, wall_clock_budget=None):
     the campaign runner, so the shrinker can minimise crashes too.
     ``wall_clock_budget`` (host seconds) arms the kernel's cooperative
     deadline: exceeding it classifies the run ``timeout`` instead of
-    crashing the hosting process.
+    crashing the hosting process.  ``instrument`` is an optional
+    callable invoked with the assembled system before the run starts
+    (the fuzz engine hooks its coverage probe in here); its hooks must
+    be strictly observe-only or the bit-exactness contract breaks.
     """
     system = None
     error_text = None
@@ -279,6 +288,7 @@ def execute(spec, wall_clock_budget=None):
             watchdog_kwargs=dict(spec.watchdog_kwargs),
             check_protocol=spec.check_protocol,
             protocol_kwargs=dict(spec.protocol_kwargs),
+            **spec.scenario_kwargs,
         )
         signal_faults = [fault for fault in spec.faults
                          if fault.kind != "behavioural"]
@@ -298,6 +308,8 @@ def execute(spec, wall_clock_budget=None):
                 else:
                     injector.glitch(target, fault.value,
                                     cycles=fault.cycles, **window)
+        if instrument is not None:
+            instrument(system)
         system.run(us(spec.duration_us),
                    wall_clock_budget=wall_clock_budget)
     except WallClockDeadlineError as exc:

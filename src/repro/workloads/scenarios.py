@@ -8,6 +8,20 @@ about realistic platforms instead of abstract traffic knobs.
 
 Every scenario returns an :class:`~repro.workloads.testbench.AhbSystem`
 with the global power monitor attached.
+
+Every builder additionally accepts the **traffic-shape overrides** the
+fuzz engine mutates (all JSON-able, all defaulting to the scenario's
+canonical shape):
+
+``dma_burst``
+    ``HBURST`` code for the scenario's DMA-class master (burst
+    reshaping);
+``idle_scale``
+    multiplier applied to every source's idle-gap range (traffic
+    density);
+``wait_states`` / ``arbitration``
+    forwarded to :class:`~repro.workloads.testbench.AhbSystem`,
+    overriding the scenario default instead of conflicting with it.
 """
 
 from __future__ import annotations
@@ -24,7 +38,20 @@ def _regions(n_slaves, region_size=0x1000):
             for index in range(n_slaves)]
 
 
-def portable_audio_player(seed=0, frequency_hz=MHz(100), **system_kwargs):
+def _scaled_idle(idle_range, scale):
+    """*idle_range* stretched/compressed by *scale* (lo <= hi kept)."""
+    lo, hi = idle_range
+    lo = max(0, int(round(lo * scale)))
+    hi = max(lo, int(round(hi * scale)))
+    return (lo, hi)
+
+
+def _burst(dma_burst, default):
+    return default if dma_burst is None else HBURST(dma_burst)
+
+
+def portable_audio_player(seed=0, frequency_hz=MHz(100), dma_burst=None,
+                          idle_scale=1.0, **system_kwargs):
     """A palmtop audio player.
 
     * CPU master: read-dominated, high-locality control code;
@@ -34,14 +61,17 @@ def portable_audio_player(seed=0, frequency_hz=MHz(100), **system_kwargs):
     """
     regions = _regions(3)
     cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
-                        read_fraction=0.85, idle_range=(0, 4))
+                        read_fraction=0.85,
+                        idle_range=_scaled_idle((0, 4), idle_scale))
     dma = DmaBurstSource([regions[2]], seed=seed + 1,
-                         burst=HBURST.INCR8, idle_range=(6, 20))
+                         burst=_burst(dma_burst, HBURST.INCR8),
+                         idle_range=_scaled_idle((6, 20), idle_scale))
     return AhbSystem([cpu, dma], n_slaves=3,
                      frequency_hz=frequency_hz, **system_kwargs)
 
 
-def wireless_modem(seed=0, frequency_hz=MHz(100), **system_kwargs):
+def wireless_modem(seed=0, frequency_hz=MHz(100), dma_burst=None,
+                   idle_scale=1.0, **system_kwargs):
     """A cellular/wireless baseband.
 
     * protocol CPU with moderate locality;
@@ -50,17 +80,20 @@ def wireless_modem(seed=0, frequency_hz=MHz(100), **system_kwargs):
     """
     regions = _regions(3)
     cpu = CpuLikeSource([regions[0]], seed=seed, read_fraction=0.7,
-                        jump_probability=0.2, idle_range=(0, 6))
+                        jump_probability=0.2,
+                        idle_range=_scaled_idle((0, 6), idle_scale))
     rx_dma = DmaBurstSource([regions[1], regions[2]], seed=seed + 1,
-                            burst=HBURST.WRAP4, idle_range=(2, 30))
+                            burst=_burst(dma_burst, HBURST.WRAP4),
+                            idle_range=_scaled_idle((2, 30), idle_scale))
+    system_kwargs.setdefault("wait_states", [0, 1, 1])
+    system_kwargs.setdefault("arbitration", Arbitration.ROUND_ROBIN)
     return AhbSystem([cpu, rx_dma], n_slaves=3,
-                     wait_states=[0, 1, 1],
                      frequency_hz=frequency_hz,
-                     arbitration=Arbitration.ROUND_ROBIN,
                      **system_kwargs)
 
 
-def portable_videogame(seed=0, frequency_hz=MHz(100), **system_kwargs):
+def portable_videogame(seed=0, frequency_hz=MHz(100), dma_burst=None,
+                       idle_scale=1.0, **system_kwargs):
     """A handheld videogame.
 
     * game-logic CPU;
@@ -69,11 +102,15 @@ def portable_videogame(seed=0, frequency_hz=MHz(100), **system_kwargs):
     """
     regions = _regions(3)
     cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
-                        read_fraction=0.75, idle_range=(0, 3))
+                        read_fraction=0.75,
+                        idle_range=_scaled_idle((0, 3), idle_scale))
     gfx_dma = DmaBurstSource([regions[2]], seed=seed + 1,
-                             burst=HBURST.INCR16, idle_range=(1, 10))
+                             burst=_burst(dma_burst, HBURST.INCR16),
+                             idle_range=_scaled_idle((1, 10), idle_scale))
     io_master = RandomSource([regions[1]], seed=seed + 2,
-                             write_fraction=0.3, idle_range=(10, 50))
+                             write_fraction=0.3,
+                             idle_range=_scaled_idle((10, 50),
+                                                     idle_scale))
     return AhbSystem([cpu, gfx_dma, io_master], n_slaves=3,
                      frequency_hz=frequency_hz, **system_kwargs)
 

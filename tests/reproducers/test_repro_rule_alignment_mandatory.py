@@ -1,0 +1,21 @@
+"""Auto-generated fuzz reproducer regression test.
+
+Failure signature: rule alignment mandatory
+Produced by `repro fuzz` (repro.fuzz.engine.write_reproducer); the
+sibling JSON file is the minimal shrunk RunSpec with its recorded
+outcome.  Regenerate rather than edit.
+"""
+
+import os
+
+from repro.replay import ReplayTrace
+
+_TRACE = os.path.join(os.path.dirname(__file__), 'repro_rule_alignment_mandatory.json')
+
+
+def test_repro_rule_alignment_mandatory():
+    trace = ReplayTrace.load(_TRACE)
+    spec, recorded, actual, match = trace.replay(0)
+    assert 'alignment' in actual.rules_tripped, \
+        "expected rule alignment to trip"
+    assert match, "replay diverged from the recorded fingerprint"

@@ -7,9 +7,12 @@ import pytest
 from repro.exec import (
     FORMAT,
     CampaignJournal,
+    ExecutorConfig,
     JournalError,
+    execute_campaign,
     load_journal,
 )
+from repro.faults import enumerate_campaign
 
 
 def write_lines(path, records, tail=""):
@@ -68,8 +71,46 @@ class TestLoad:
             fh.write("not json at all\n")
             fh.write(json.dumps({"event": "result", "run": "s/none",
                                  "result": {}}) + "\n")
-        with pytest.raises(JournalError, match="line 2"):
+        with pytest.raises(JournalError, match="line 2") as excinfo:
             load_journal(path)
+        # the faulting line is also carried structurally, so tooling
+        # does not have to parse the message
+        assert excinfo.value.line == 2
+
+    def test_interior_vs_tail_corruption_contract(self, tmp_path):
+        """The tolerant-loading boundary, spelled out: the same bad
+        line is fatal in the interior but recoverable at the tail."""
+        records = [
+            header(),
+            {"event": "result", "run": "s/none",
+             "result": {"scenario": "s", "fault": "none",
+                        "outcome": "completed"}},
+        ]
+        bad = '{"event": "result", "run": "s/alw'  # killed mid-write
+
+        tail_path = tmp_path / "tail.jsonl"
+        write_lines(tail_path, records, tail=bad)
+        state = load_journal(tail_path)
+        assert state.truncated_tail
+        assert state.completed == {"s/none"}
+
+        interior_path = tmp_path / "interior.jsonl"
+        with open(interior_path, "w") as fh:
+            fh.write(json.dumps(records[0]) + "\n")
+            fh.write(bad + "\n")
+            fh.write(json.dumps(records[1]) + "\n")
+        with pytest.raises(JournalError) as excinfo:
+            load_journal(interior_path)
+        assert excinfo.value.line == 2
+        assert "line 2" in str(excinfo.value)
+
+    def test_non_line_errors_carry_no_line(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        write_lines(path, [{"event": "result", "run": "s/none",
+                            "result": {}}])
+        with pytest.raises(JournalError) as excinfo:
+            load_journal(path)
+        assert excinfo.value.line is None
 
     def test_missing_header_raises(self, tmp_path):
         path = tmp_path / "c.jsonl"
@@ -98,6 +139,48 @@ class TestLoad:
         state = load_journal(path)
         assert state.quarantined == {"s/always-retry": "/tmp/q.json"}
         assert "s/always-retry" in state.completed
+
+
+class TestExecutorResume:
+    def test_truncated_tail_resumes_cleanly_at_executor_level(
+            self, tmp_path):
+        """A journal whose final line was cut by a hard kill must not
+        poison a resume: the executor restores every fully-recorded
+        run and re-executes nothing."""
+        runs = enumerate_campaign(
+            ("portable-audio-player",), ("none", "always-retry"),
+            seed=1, duration_us=2.0)
+        journal = str(tmp_path / "campaign.jsonl")
+        report = execute_campaign(
+            runs, ExecutorConfig(journal=journal))
+        assert len(report.results) == len(runs)
+        with open(journal, "a") as fh:
+            fh.write('{"event": "result", "run": "s/trunc')  # mid-write
+        resumed = execute_campaign(
+            runs, ExecutorConfig(journal=journal, resume=True))
+        assert resumed.resumed == len(runs)
+        assert set(resumed.results) == set(report.results)
+        for run_id, result in report.results.items():
+            assert resumed.results[run_id].fingerprint \
+                == result.fingerprint
+
+    def test_interior_corruption_is_fatal_at_executor_level(
+            self, tmp_path):
+        runs = enumerate_campaign(
+            ("portable-audio-player",), ("none",), seed=1,
+            duration_us=2.0)
+        journal = str(tmp_path / "campaign.jsonl")
+        execute_campaign(runs, ExecutorConfig(journal=journal))
+        lines = open(journal).read().splitlines()
+        lines.insert(1, "## edited by hand ##")
+        lines.append(json.dumps({"event": "interrupted",
+                                 "phase": "drain"}))
+        with open(journal, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError) as excinfo:
+            execute_campaign(
+                runs, ExecutorConfig(journal=journal, resume=True))
+        assert excinfo.value.line == 2
 
 
 class TestWriter:

@@ -1,0 +1,142 @@
+"""Structured genome mutators: validity, determinism, executability."""
+
+import json
+import random
+
+from repro.fuzz.mutators import (
+    MAX_FAULTS,
+    MUTATOR_NAMES,
+    MUTATORS,
+    SIGNAL_WIDTHS,
+    burst_reshape,
+    fault_delete,
+    fault_insert,
+    fault_shift,
+    mutate,
+    resilience_knobs,
+    seed_drift,
+    wait_jitter,
+)
+from repro.replay import FaultEntry, RunSpec, campaign_spec, execute
+
+QUICK = dict(duration_us=5.0)
+
+
+def seed_genome(**overrides):
+    params = dict(QUICK)
+    params.update(overrides)
+    return campaign_spec("portable-audio-player", "none", **params)
+
+
+class TestCatalogue:
+    def test_catalogue_names_are_stable(self):
+        # names are recorded in corpus provenance: renaming one is a
+        # format break, so spell the catalogue out
+        assert MUTATOR_NAMES == (
+            "burst-reshape", "wait-jitter", "arbitration-flip",
+            "idle-scale", "fault-insert", "fault-delete",
+            "fault-shift", "duration-jitter", "seed-drift",
+            "resilience-knobs",
+        )
+
+    def test_mutate_is_deterministic_in_the_rng(self):
+        spec = seed_genome()
+        first = [mutate(spec, random.Random(42)) for _ in range(5)]
+        second = [mutate(spec, random.Random(42)) for _ in range(5)]
+        assert [(name, mutated.key()) for name, mutated in first] \
+            == [(name, mutated.key()) for name, mutated in second]
+
+    def test_mutate_never_returns_the_same_genome_object(self):
+        spec = seed_genome()
+        rng = random.Random(3)
+        for _ in range(20):
+            _, mutated = mutate(spec, rng)
+            assert mutated is not spec
+            assert spec.faults == []  # parent untouched
+
+    def test_all_mutated_genomes_round_trip_through_json(self):
+        spec = seed_genome()
+        rng = random.Random(7)
+        for _ in range(30):
+            _, spec = mutate(spec, rng)
+            clone = RunSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict())))
+            assert clone.key() == spec.key()
+
+    def test_deeply_mutated_genome_still_executes(self):
+        spec = seed_genome()
+        rng = random.Random(11)
+        for _ in range(12):
+            _, spec = mutate(spec, rng)
+        spec = spec.replace(duration_us=2.0)
+        _, outcome = execute(spec)
+        # contained outcome, never an uncontained crash of the harness
+        assert outcome.outcome in ("completed", "recovered",
+                                   "degraded", "hung", "crashed")
+
+
+class TestIndividualMutators:
+    def test_burst_reshape_sets_valid_hburst_code(self):
+        spec = seed_genome()
+        for trial in range(10):
+            mutated = burst_reshape(spec, random.Random(trial))
+            if mutated is None:  # drew the current value
+                continue
+            assert mutated.scenario_kwargs["dma_burst"] in range(8)
+
+    def test_wait_jitter_emits_one_wait_state_per_slave(self):
+        mutated = wait_jitter(seed_genome(), random.Random(1))
+        waits = mutated.scenario_kwargs["wait_states"]
+        assert len(waits) == 3
+        assert all(0 <= wait <= 3 for wait in waits)
+
+    def test_fault_insert_respects_schedule_ceiling(self):
+        spec = seed_genome()
+        rng = random.Random(5)
+        for _ in range(MAX_FAULTS):
+            spec = fault_insert(spec, rng)
+        assert len(spec.faults) == MAX_FAULTS
+        assert fault_insert(spec, rng) is None
+
+    def test_fault_insert_windows_stay_inside_the_run(self):
+        duration_ps = int(QUICK["duration_us"] * 1_000_000)
+        rng = random.Random(9)
+        for _ in range(20):
+            spec = fault_insert(seed_genome(), rng)
+            fault = spec.faults[-1]
+            if fault.kind == "behavioural":
+                assert 0 <= fault.trigger_after < 256
+            else:
+                assert fault.signal in SIGNAL_WIDTHS
+                assert 0 <= fault.bit < SIGNAL_WIDTHS[fault.signal]
+                assert 0 <= fault.start_ps < duration_ps
+                assert fault.end_ps > fault.start_ps
+
+    def test_fault_delete_and_shift_need_a_schedule(self):
+        empty = seed_genome()
+        rng = random.Random(2)
+        assert fault_delete(empty, rng) is None
+        assert fault_shift(empty, rng) is None
+        spec = empty.replace(faults=[FaultEntry.behavioural(
+            "always-retry", slave=1, trigger_after=4).to_dict()])
+        assert fault_delete(spec, rng).faults == []
+        shifted = fault_shift(spec, rng)
+        assert len(shifted.faults) == 1
+        assert shifted.faults[0].mode == "always-retry"
+
+    def test_seed_drift_changes_a_seed(self):
+        spec = seed_genome()
+        mutated = seed_drift(spec, random.Random(4))
+        assert (mutated.seed != spec.seed
+                or mutated.injector_seed != spec.injector_seed)
+
+    def test_resilience_knobs_keep_recover_enabled_by_default(self):
+        mutated = resilience_knobs(seed_genome(), random.Random(6))
+        assert mutated.watchdog_kwargs["recover"] is True
+        assert mutated.retry_limit in (1, 2, 4, 8, 16)
+
+    def test_every_mutator_output_is_spec_or_none(self):
+        spec = seed_genome()
+        for name, mutator in MUTATORS:
+            mutated = mutator(spec, random.Random(8))
+            assert mutated is None or isinstance(mutated, RunSpec), name

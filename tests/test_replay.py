@@ -164,10 +164,15 @@ class TestShrinker:
             shrink(healthy)
 
     def test_failure_signature_prefers_violated_rule(self):
+        # the rule signature carries the specific rule_id AND its tier
         assert failure_signature(RunOutcome(
             first_violation_rule="wait-limit",
             recovery_compliant=True, outcome="recovered",
-        )) == ("rule", "wait-limit")
+        )) == ("rule", "wait-limit", "advisory")
+        assert failure_signature(RunOutcome(
+            first_violation_rule="alignment",
+            recovery_compliant=False, outcome="recovered",
+        )) == ("rule", "alignment", "mandatory")
         assert failure_signature(RunOutcome(
             first_violation_rule=None, recovery_compliant=False,
             outcome="recovered",
@@ -176,6 +181,39 @@ class TestShrinker:
             first_violation_rule=None, recovery_compliant=True,
             outcome="hung",
         )) == ("outcome", "hung")
+
+    def test_crash_signature_keys_on_exception_type(self):
+        crashed = RunOutcome(
+            first_violation_rule=None, recovery_compliant=True,
+            outcome="crashed", detail="KeyError: 'htrans'",
+        )
+        assert failure_signature(crashed) \
+            == ("outcome", "crashed", "KeyError")
+        other = RunOutcome(
+            first_violation_rule=None, recovery_compliant=True,
+            outcome="crashed", detail="ValueError: bad burst",
+        )
+        assert failure_signature(other) != failure_signature(crashed)
+
+    def test_shrink_pins_original_rule_with_cooccurring_violations(
+            self):
+        # Two independent bugs in one run: a stuck-at on HADDR bit 0
+        # trips the mandatory alignment rule first, while an
+        # always-RETRY slave trips the advisory retry-livelock rule.
+        # ddmin must not slide from the first bug onto the second.
+        spec = retry_spec(duration_us=10.0)
+        spec.faults.append(FaultEntry.signal_fault(
+            "stuck-at", "haddr", bit=0, value=1,
+            start_ps=100_000, end_ps=2_000_000))
+        _, outcome = execute(spec)
+        assert outcome.first_violation_rule == "alignment"
+        assert "retry-livelock" in outcome.rules_tripped
+        result = shrink(spec)
+        assert "alignment" in result.outcome.rules_tripped
+        assert result.outcome.first_violation_rule == "alignment"
+        # the livelock fault is dead weight for *this* signature
+        assert len(result.spec.faults) == 1
+        assert result.spec.faults[0].kind == "stuck-at"
 
     def test_custom_predicate_drives_the_search(self):
         # shrink against outcome classification instead of rules
