@@ -244,6 +244,33 @@ class Arbiter(Module):
         self._forced_release |= 1 << master_index
         self.forced_split_releases += 1
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Non-signal arbiter state (signals live in the kernel tree)."""
+        return {
+            "cycle_counter": self._cycle_counter,
+            "rr_pointer": self._rr_pointer,
+            "beats_done": self._beats_done,
+            "expected_beats": self._expected_beats,
+            "forced_release": self._forced_release,
+            "handover_count": self.handover_count,
+            "grant_change_count": self.grant_change_count,
+            "split_count": self.split_count,
+            "forced_split_releases": self.forced_split_releases,
+        }
+
+    def load_state_dict(self, state):
+        self._cycle_counter = state["cycle_counter"]
+        self._rr_pointer = state["rr_pointer"]
+        self._beats_done = state["beats_done"]
+        self._expected_beats = state["expected_beats"]
+        self._forced_release = state["forced_release"]
+        self.handover_count = state["handover_count"]
+        self.grant_change_count = state["grant_change_count"]
+        self.split_count = state["split_count"]
+        self.forced_split_releases = state["forced_split_releases"]
+
     # -- introspection --------------------------------------------------------
 
     @property

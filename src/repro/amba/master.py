@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..kernel import Module
-from .transactions import Beat
+from .transactions import Beat, txn_from_state, txn_state
 from .types import HRESP, HTRANS
 
 
@@ -351,6 +351,84 @@ class AhbMaster(Module):
         if self._addr_beat is not None and self._addr_beat.txn.locked:
             locked = True
         self.port.hlock.write(1 if locked else 0)
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Snapshot the BFM: queue, in-flight beats, results, stats.
+
+        Transactions are serialized once into a shared table and
+        referenced by id, preserving object identity across the queue,
+        the in-flight beats and the completed list on restore.
+        """
+        table = {}
+
+        def ref(txn):
+            if txn is None:
+                return None
+            table[str(txn.id)] = txn
+            return txn.id
+
+        def beat_ref(beat):
+            if beat is None:
+                return None
+            return [ref(beat.txn), beat.index]
+
+        state = {
+            "queue": [ref(txn) for txn in self._queue],
+            "completed": [ref(txn) for txn in self.completed],
+            "current": ref(self._current),
+            "addr_beat": beat_ref(self._addr_beat),
+            "data_beat": beat_ref(self._data_beat),
+            "beat_index": self._beat_index,
+            "busy_remaining": self._busy_remaining,
+            "idle_countdown": self._idle_countdown,
+            "reissue": self._reissue,
+            "force_nonseq": self._force_nonseq,
+            "stats": {
+                "beats_completed": self.beats_completed,
+                "wait_cycles": self.wait_cycles,
+                "busy_cycles": self.busy_cycles,
+                "idle_owned_cycles": self.idle_owned_cycles,
+                "retries_seen": self.retries_seen,
+                "aborted_transactions": self.aborted_transactions,
+                "backoff_cycles": self.backoff_cycles,
+            },
+        }
+        state["txns"] = {key: txn_state(txn)
+                         for key, txn in table.items()}
+        return state
+
+    def load_state_dict(self, state):
+        table = {int(key): txn_from_state(value)
+                 for key, value in state["txns"].items()}
+
+        def deref(txn_id):
+            return None if txn_id is None else table[txn_id]
+
+        def beat(ref):
+            if ref is None:
+                return None
+            return Beat(table[ref[0]], ref[1])
+
+        self._queue = deque(deref(txn_id) for txn_id in state["queue"])
+        self.completed = [deref(txn_id) for txn_id in state["completed"]]
+        self._current = deref(state["current"])
+        self._addr_beat = beat(state["addr_beat"])
+        self._data_beat = beat(state["data_beat"])
+        self._beat_index = state["beat_index"]
+        self._busy_remaining = state["busy_remaining"]
+        self._idle_countdown = state["idle_countdown"]
+        self._reissue = state["reissue"]
+        self._force_nonseq = state["force_nonseq"]
+        stats = state["stats"]
+        self.beats_completed = stats["beats_completed"]
+        self.wait_cycles = stats["wait_cycles"]
+        self.busy_cycles = stats["busy_cycles"]
+        self.idle_owned_cycles = stats["idle_owned_cycles"]
+        self.retries_seen = stats["retries_seen"]
+        self.aborted_transactions = stats["aborted_transactions"]
+        self.backoff_cycles = stats["backoff_cycles"]
 
 
 class DefaultMaster(AhbMaster):

@@ -150,6 +150,18 @@ class SlaveToMasterMux(Module):
             1 if is_active(HTRANS(self.bus.htrans.value)) else 0
         )
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        return {
+            "forced_errors": self.forced_errors,
+            "force_pending": self._force_pending,
+        }
+
+    def load_state_dict(self, state):
+        self.forced_errors = state["forced_errors"]
+        self._force_pending = state["force_pending"]
+
     @property
     def n_inputs(self):
         """Number of multiplexer input legs (slaves incl. default)."""

@@ -188,6 +188,61 @@ class AhbSlaveBase(Module):
                     self._do_read(self._pending.address, self._pending.size)
                 )
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        pending = None
+        if self._pending is not None:
+            pending = {
+                "address": self._pending.address,
+                "write": self._pending.write,
+                "size": self._pending.size,
+                "burst": self._pending.burst,
+            }
+        stall = None
+        if self._stall_result is not None:
+            stall = [int(self._stall_result[0]), self._stall_result[1]]
+        return {
+            "pending": pending,
+            "waits_left": self._waits_left,
+            "response": int(self._response),
+            "resp_cycles_left": self._resp_cycles_left,
+            "stall_result": stall,
+            "stall_rdata": self._stall_rdata,
+            "stats": {
+                "transfers_accepted": self.transfers_accepted,
+                "reads": self.reads,
+                "writes": self.writes,
+                "error_responses": self.error_responses,
+                "retry_responses": self.retry_responses,
+                "split_responses": self.split_responses,
+            },
+        }
+
+    def load_state_dict(self, state):
+        pending = state["pending"]
+        if pending is None:
+            self._pending = None
+        else:
+            self._pending = _PendingTransfer(
+                pending["address"], pending["write"],
+                pending["size"], pending["burst"],
+            )
+        self._waits_left = state["waits_left"]
+        self._response = HRESP(state["response"])
+        self._resp_cycles_left = state["resp_cycles_left"]
+        stall = state["stall_result"]
+        self._stall_result = None if stall is None \
+            else (HRESP(stall[0]), stall[1])
+        self._stall_rdata = state["stall_rdata"]
+        stats = state["stats"]
+        self.transfers_accepted = stats["transfers_accepted"]
+        self.reads = stats["reads"]
+        self.writes = stats["writes"]
+        self.error_responses = stats["error_responses"]
+        self.retry_responses = stats["retry_responses"]
+        self.split_responses = stats["split_responses"]
+
 
 class MemorySlave(AhbSlaveBase):
     """Byte-addressable memory slave.
@@ -246,6 +301,20 @@ class MemorySlave(AhbSlaveBase):
         local = self._offset(address)
         for offset in range(size_bytes(size)):
             self._mem[local + offset] = (value >> (8 * offset)) & 0xFF
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        # JSON object keys are strings; offsets are re-intified on load.
+        state["mem"] = {str(offset): byte
+                        for offset, byte in sorted(self._mem.items())}
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._mem = {int(offset): byte
+                     for offset, byte in state["mem"].items()}
 
     # -- direct (zero-time) access for testbenches -------------------------
 
@@ -320,6 +389,29 @@ class SplitCapableSlave(MemorySlave):
                 self._must_serve.add(master)
                 release |= 1 << master
         self.port.hsplit.write(release)
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["split_countdowns"] = {
+            str(master): left
+            for master, left in sorted(self._split_countdowns.items())
+        }
+        state["must_serve"] = sorted(self._must_serve)
+        state["new_transfers"] = self._new_transfers
+        state["splits_issued"] = self.splits_issued
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._split_countdowns = {
+            int(master): left
+            for master, left in state["split_countdowns"].items()
+        }
+        self._must_serve = set(state["must_serve"])
+        self._new_transfers = state["new_transfers"]
+        self.splits_issued = state["splits_issued"]
 
 
 class DefaultSlave(AhbSlaveBase):

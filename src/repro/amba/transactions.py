@@ -8,10 +8,9 @@ collected back onto the transaction object.
 
 from __future__ import annotations
 
-import itertools
-
 from .types import (
     HBURST,
+    HRESP,
     HSIZE,
     aligned,
     burst_addresses,
@@ -19,7 +18,49 @@ from .types import (
     size_bytes,
 )
 
-_txn_ids = itertools.count()
+# Transaction ids come from a process-wide counter.  It is resettable
+# (and capturable) so that replayed / checkpoint-restored runs assign
+# the same ids regardless of how many transactions earlier runs in the
+# same process created.
+_next_txn_id = 0
+
+
+def _take_txn_id():
+    global _next_txn_id
+    value = _next_txn_id
+    _next_txn_id += 1
+    return value
+
+
+def txn_id_counter():
+    """The id the next constructed transaction would receive."""
+    return _next_txn_id
+
+
+def reset_txn_ids(value=0):
+    """Reset the process-wide transaction id counter.
+
+    Called at the top of :func:`repro.replay.execute` (cross-run
+    determinism) and by checkpoint restore (the counter is part of the
+    captured state).
+    """
+    global _next_txn_id
+    _next_txn_id = int(value)
+
+
+class TxnIdCounterState:
+    """State provider for the transaction id counter.
+
+    Must be registered *after* every provider whose restore constructs
+    transactions (:func:`txn_from_state` consumes counter ids before
+    overwriting them), so the load here lands last and wins.
+    """
+
+    def state_dict(self):
+        return {"next_id": txn_id_counter()}
+
+    def load_state_dict(self, state):
+        reset_txn_ids(state["next_id"])
 
 
 class AhbTransaction:
@@ -52,7 +93,7 @@ class AhbTransaction:
     def __init__(self, write, address, data=None, hsize=HSIZE.WORD,
                  hburst=HBURST.SINGLE, beats=None, locked=False,
                  idle_cycles_before=0, busy_between_beats=0):
-        self.id = next(_txn_ids)
+        self.id = _take_txn_id()
         self.write = bool(write)
         self.address = int(address)
         self.hsize = HSIZE(hsize)
@@ -140,6 +181,56 @@ class AhbTransaction:
         return "AhbTransaction(#%d %s %s@%#x x%d)" % (
             self.id, kind, self.hburst.name, self.address, self.beats,
         )
+
+
+def txn_state(txn):
+    """JSON-able state of *txn* (configuration + results + id)."""
+    return {
+        "id": txn.id,
+        "write": txn.write,
+        "address": txn.address,
+        "data": None if txn.data is None else list(txn.data),
+        "hsize": int(txn.hsize),
+        "hburst": int(txn.hburst),
+        "beats": txn.beats,
+        "locked": txn.locked,
+        "idle_cycles_before": txn.idle_cycles_before,
+        "busy_between_beats": txn.busy_between_beats,
+        "rdata": list(txn.rdata),
+        "responses": [int(response) for response in txn.responses],
+        "retries": txn.retries,
+        "error": txn.error,
+        "abort_reason": txn.abort_reason,
+        "done": txn.done,
+        "issue_time": txn.issue_time,
+        "complete_time": txn.complete_time,
+    }
+
+
+def txn_from_state(state):
+    """Rebuild a transaction from :func:`txn_state` output.
+
+    Construction consumes a fresh counter id, which is then overwritten
+    with the recorded one; callers restoring a whole snapshot reset the
+    counter afterwards (it is captured separately).
+    """
+    txn = AhbTransaction(
+        state["write"], state["address"], data=state["data"],
+        hsize=HSIZE(state["hsize"]), hburst=HBURST(state["hburst"]),
+        beats=state["beats"], locked=state["locked"],
+        idle_cycles_before=state["idle_cycles_before"],
+        busy_between_beats=state["busy_between_beats"],
+    )
+    txn.id = state["id"]
+    txn.rdata = list(state["rdata"])
+    txn.responses = [HRESP(response) for response in state["responses"]]
+    txn.retries = state["retries"]
+    txn.error = state["error"]
+    txn.abort_reason = state["abort_reason"]
+    txn.done = state["done"]
+    txn.issue_time = state["issue_time"]
+    txn.complete_time = state["complete_time"]
+    return txn
 
 
 class Beat:

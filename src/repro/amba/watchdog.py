@@ -226,3 +226,41 @@ class AhbWatchdog(Module):
             # the default master): detection only.
             return False
         return abort(reason) is not None
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        return {
+            "events": [
+                [event.time, event.rule, event.message, event.recovered]
+                for event in self.events
+            ],
+            "stall_events": self.stall_events,
+            "retry_storms": self.retry_storms,
+            "split_timeouts": self.split_timeouts,
+            "recoveries": self.recoveries,
+            "cycles_watched": self.cycles_watched,
+            "stall_streak": self._stall_streak,
+            "retry_counts": {str(owner): count for owner, count
+                             in sorted(self._retry_counts.items())},
+            "split_age": {str(bit): age for bit, age
+                          in sorted(self._split_age.items())},
+            "split_flagged": sorted(self._split_flagged),
+        }
+
+    def load_state_dict(self, state):
+        self.events = [
+            WatchdogEvent(time, rule, message, recovered)
+            for time, rule, message, recovered in state["events"]
+        ]
+        self.stall_events = state["stall_events"]
+        self.retry_storms = state["retry_storms"]
+        self.split_timeouts = state["split_timeouts"]
+        self.recoveries = state["recoveries"]
+        self.cycles_watched = state["cycles_watched"]
+        self._stall_streak = state["stall_streak"]
+        self._retry_counts = {int(owner): count for owner, count
+                              in state["retry_counts"].items()}
+        self._split_age = {int(bit): age for bit, age
+                           in state["split_age"].items()}
+        self._split_flagged = set(state["split_flagged"])

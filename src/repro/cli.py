@@ -14,6 +14,10 @@
         --journal campaign.jsonl
     python -m repro.cli faults --jobs 4 --timeout 30 \\
         --journal campaign.jsonl --resume
+    python -m repro.cli faults --jobs 4 --journal campaign.jsonl \\
+        --checkpoint-dir checkpoints/ --checkpoint-interval 500
+    python -m repro.cli scenario wireless-modem --digest-interval 500 \\
+        --record run.trace.json
     python -m repro.cli replay campaign.trace.json --shrink
     python -m repro.cli fuzz --corpus corpus/ --budget 1000 --seed 7 \\
         --jobs 4 --coverage-out coverage.json
@@ -97,7 +101,11 @@ def _cmd_scenario(args):
         retry_limit=None, retry_backoff=0, watchdog=False,
         check_protocol=args.check_protocol,
     )
-    system, outcome = execute(spec)
+    plan = None
+    if args.digest_interval:
+        from .state import CheckpointPlan
+        plan = CheckpointPlan(interval_cycles=args.digest_interval)
+    system, outcome = execute(spec, checkpoint=plan)
     if outcome.outcome == "crashed":
         print(outcome.detail, file=sys.stderr)
         return 1
@@ -150,6 +158,8 @@ def _cmd_faults(args):
         check_protocol=args.check_protocol,
         jobs=args.jobs, timeout=args.timeout,
         journal=args.journal, resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
     print(result.summary().format())
     if args.metrics:
@@ -177,10 +187,15 @@ def _cmd_faults(args):
         trace.save(args.record)
         print("recorded %d runs to %s" % (len(trace), args.record))
     if result.interrupted:
+        import signal as _signal
         print("campaign INTERRUPTED: journal flushed%s"
               % ("; finish it with --resume --journal %s"
                  % args.journal if args.journal else ""),
               file=sys.stderr)
+        # Conventional codes: 128 + signal number (130 for SIGINT,
+        # 143 for SIGTERM).
+        if result.interrupt_signal == _signal.SIGTERM:
+            return 143
         return 130
     if not result.ok:
         bad = result.failures
@@ -214,6 +229,7 @@ def _cmd_fuzz(args):
         max_sim_us=args.sim_budget_us,
         wall_budget_s=args.time_budget,
         resume=args.resume,
+        warm_start=args.warm_start,
     )
     report = run_fuzz_campaign(args.corpus, config)
     print(report.summary())
@@ -314,6 +330,11 @@ def _cmd_replay(args):
     spec, recorded, actual, match = trace.replay(index)
     print("replaying run %d: %r" % (index, spec))
     print("bit-exact: %s" % ("yes" if match else "NO"))
+    digest_report = None
+    if recorded.digests:
+        from .replay import verify_digests
+        digest_report = verify_digests(spec, recorded.digests)
+        print("state digests: %s" % digest_report.describe())
     if not match:
         recorded_fp = recorded.fingerprint()
         actual_fp = actual.fingerprint()
@@ -328,6 +349,14 @@ def _cmd_replay(args):
         "recorded": recorded.fingerprint(),
         "replayed": actual.fingerprint(),
     }
+    if digest_report is not None:
+        report["digests"] = {
+            "match": digest_report.match,
+            "entries_compared": digest_report.entries_compared,
+            "first_divergence": digest_report.first_divergence,
+            "detail": digest_report.detail,
+        }
+        match = match and digest_report.match
     shrunk = None
     if args.shrink:
         if not actual.failing:
@@ -395,6 +424,11 @@ def build_parser():
         "--record", metavar="PATH",
         help="write the run's replay trace (spec + outcome "
              "fingerprint) to PATH")
+    scenario_parser.add_argument(
+        "--digest-interval", type=int, default=0, metavar="CYCLES",
+        help="record a state digest every CYCLES bus cycles into the "
+             "replay trace; 'repro replay' then verifies full state "
+             "equivalence at every interval (0 disables)")
     scenario_parser.set_defaults(fn=_cmd_scenario)
 
     faults_parser = sub.add_parser(
@@ -455,7 +489,17 @@ def build_parser():
     faults_parser.add_argument(
         "--resume", action="store_true",
         help="load --journal first: skip completed runs, re-dispatch "
-             "in-flight ones")
+             "in-flight ones (with --checkpoint-dir, interrupted runs "
+             "resume mid-run from their newest checkpoint)")
+    faults_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint every run's full simulation state under "
+             "DIR/<run-id>/; killed or timed-out attempts resume from "
+             "the newest checkpoint instead of restarting")
+    faults_parser.add_argument(
+        "--checkpoint-interval", type=int, default=1000,
+        metavar="CYCLES",
+        help="bus-clock cycles between checkpoints (default 1000)")
     faults_parser.add_argument(
         "--metrics", action="store_true",
         help="also print the merged campaign telemetry summary "
@@ -517,6 +561,11 @@ def build_parser():
     fuzz_parser.add_argument(
         "--resume", action="store_true",
         help="restore the corpus state.json and continue the campaign")
+    fuzz_parser.add_argument(
+        "--warm-start", action="store_true",
+        help="warm-start mutated candidates from shared scenario-"
+             "prefix checkpoints (CORPUS/warmstart); corpus evolution "
+             "stays bit-identical to a cold campaign")
     fuzz_parser.add_argument(
         "--no-shrink", action="store_true",
         help="record failures without ddmin-minimising them "

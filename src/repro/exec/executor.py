@@ -25,9 +25,19 @@ campaign *one worker*, not the whole batch:
 * **journal & resume** — every state change is appended to a JSONL
   journal (:mod:`repro.exec.journal`); a resumed campaign skips
   completed runs and re-dispatches in-flight ones;
-* **graceful SIGINT** — the first Ctrl-C stops dispatching and drains
-  in-flight workers before flushing and returning; the second
-  force-kills the pool.
+* **graceful SIGINT/SIGTERM** — the first Ctrl-C (or a supervisor
+  ``SIGTERM``, e.g. from a CI runner tearing the job down) stops
+  dispatching and drains in-flight workers before flushing and
+  returning; the second force-kills the pool.  The report records
+  which signal interrupted the campaign so the CLI can exit 130
+  (SIGINT) or 143 (SIGTERM) accordingly;
+* **intra-run checkpointing** — with ``checkpoint_dir`` set, every
+  worker checkpoints its run's full simulation state at a fixed cycle
+  cadence (:mod:`repro.state`); a run whose attempt dies (deadline
+  kill, worker crash) is re-dispatched and *resumes from its newest
+  checkpoint* instead of starting over, so even a run that repeatedly
+  times out converges.  Journal records reference each run's
+  checkpoint directory.
 
 Because every run's behaviour is fully determined by its ``RunSpec``
 (per-run derived seeds included), serial and parallel execution produce
@@ -91,6 +101,27 @@ class ExecutorConfig:
         probe (:mod:`repro.fuzz.coverage`) and attach the sorted
         coverage keys to the run result.  Observe-only: per-run
         fingerprints are unchanged.
+    checkpoint_dir, checkpoint_interval, checkpoint_keep:
+        With ``checkpoint_dir`` set, each run checkpoints its full
+        simulation state every ``checkpoint_interval`` bus cycles into
+        ``checkpoint_dir/<run-id>/`` (a
+        :class:`~repro.state.CheckpointStore` keeping the newest
+        ``checkpoint_keep`` snapshot files plus the complete digest
+        stream).  A failed attempt — deadline kill, worker death, even
+        a cooperative in-worker timeout — is then re-dispatched to
+        *resume from the newest checkpoint* (bounded by
+        ``max_attempts``) instead of being classified terminally,
+        and the final state is provably identical to an uninterrupted
+        run (same digest stream).
+    warm_start_dir:
+        Directory of shared scenario-prefix checkpoints
+        (:class:`~repro.fuzz.warmstart.WarmStartCache`).  Each run
+        whose spec admits a safe prefix (no signal-fault window opens
+        immediately) restores the prefix checkpoint left by an earlier
+        sibling — or cold-starts and leaves one behind.  Bit-exactness
+        per run is unchanged (the fuzz engine's determinism tests hold
+        with warm-starting on); mutually exclusive with
+        ``checkpoint_dir``, which owns the run loop when set.
     """
 
     def __init__(self, jobs=1, timeout=None, journal=None, resume=False,
@@ -98,7 +129,9 @@ class ExecutorConfig:
                  deadline_grace=1.0, heartbeat_interval=0.1,
                  heartbeat_timeout=30.0, artefact_dir=None,
                  start_method=None, poll_interval=0.05,
-                 collect_coverage=False):
+                 collect_coverage=False, checkpoint_dir=None,
+                 checkpoint_interval=1000, checkpoint_keep=2,
+                 warm_start_dir=None):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.journal = journal
@@ -113,6 +146,11 @@ class ExecutorConfig:
         self.start_method = start_method
         self.poll_interval = poll_interval
         self.collect_coverage = collect_coverage
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = max(0, int(checkpoint_interval))
+        self.checkpoint_keep = (max(1, int(checkpoint_keep))
+                                if checkpoint_keep is not None else None)
+        self.warm_start_dir = warm_start_dir
 
     @property
     def hard_deadline(self):
@@ -129,6 +167,13 @@ class ExecutorConfig:
             return os.path.dirname(os.path.abspath(self.journal))
         return os.getcwd()
 
+    def run_checkpoint_dir(self, run_id):
+        """Per-run checkpoint store directory (None when disabled)."""
+        if not self.checkpoint_dir:
+            return None
+        return os.path.join(self.checkpoint_dir,
+                            run_id.replace("/", "--"))
+
 
 class ExecutionReport:
     """What :func:`execute_campaign` hands back to the campaign."""
@@ -140,6 +185,9 @@ class ExecutionReport:
         self.quarantined = {}
         self.wall_time_s = 0.0
         self.interrupted = False
+        #: The signal number that interrupted the campaign
+        #: (``signal.SIGINT`` / ``signal.SIGTERM``), or None.
+        self.interrupt_signal = None
         self.resumed = 0
         self.degraded = False
 
@@ -182,7 +230,7 @@ class CampaignExecutor:
         self._ctx = None
         self._next_worker_id = 0
         self._restarts = 0
-        self._prev_sigint = None
+        self._prev_handlers = {}
         self._phase = "setup"
 
     # -- public entry ---------------------------------------------------
@@ -206,10 +254,14 @@ class CampaignExecutor:
             self._restore_sigint()
             if self.interrupts:
                 self.report.interrupted = True
-                self._append_journal({
+                record = {
                     "event": "interrupted",
                     "phase": "abort" if self.interrupts > 1 else "drain",
-                })
+                }
+                if self.report.interrupt_signal is not None:
+                    record["signal"] = signal.Signals(
+                        self.report.interrupt_signal).name
+                self._append_journal(record)
             if self._journal is not None:
                 self._journal.close()
             self.report.wall_time_s = time.monotonic() - started
@@ -268,26 +320,29 @@ class CampaignExecutor:
         if self._journal is not None:
             self._journal.append(record)
 
-    # -- SIGINT ---------------------------------------------------------
+    # -- SIGINT / SIGTERM -----------------------------------------------
 
     def _install_sigint(self):
         if threading.current_thread() is not threading.main_thread():
             return
-        try:
-            self._prev_sigint = signal.signal(signal.SIGINT,
-                                              self._on_sigint)
-        except ValueError:  # pragma: no cover - embedded interpreters
-            self._prev_sigint = None
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._prev_handlers[signum] = signal.signal(
+                    signum, self._on_sigint)
+            except (ValueError, OSError):  # pragma: no cover - embedded
+                pass
 
     def _restore_sigint(self):
-        if self._prev_sigint is not None:
-            signal.signal(signal.SIGINT, self._prev_sigint)
-            self._prev_sigint = None
+        for signum, handler in self._prev_handlers.items():
+            signal.signal(signum, handler)
+        self._prev_handlers = {}
 
     def _on_sigint(self, signum=None, frame=None):
-        """First Ctrl-C: drain in-flight work, then flush and stop.
-        Second Ctrl-C: force-kill."""
+        """First Ctrl-C or SIGTERM: drain in-flight work, then flush
+        and stop.  Second: force-kill."""
         self.interrupts += 1
+        if signum is not None and self.report.interrupt_signal is None:
+            self.report.interrupt_signal = signum
         if self.interrupts >= 2 and self._phase == "serial":
             # Serial execution blocks the main thread inside the
             # kernel; only an exception can force-stop it.
@@ -311,22 +366,25 @@ class CampaignExecutor:
                 # the supervisor would risk the whole campaign.
                 self._finalize_out_of_attempts(run)
                 continue
-            self._append_journal({"event": "dispatch",
-                                  "run": run.run_id,
-                                  "attempt": attempts + 1,
-                                  "worker": None})
-            started = time.monotonic()
-            try:
-                result_dict = execute_payload(
-                    self._payload(run),
-                    wall_clock_budget=self.config.timeout)
-            except KeyboardInterrupt:
-                self.interrupts = max(self.interrupts, 1)
-                self._pending = pending[index:]
-                return
-            result = FaultRunResult.from_dict(result_dict)
-            result.attempts = attempts + 1
-            result.wall_time_s = time.monotonic() - started
+            while True:
+                attempts += 1
+                self._append_journal(self._dispatch_record(
+                    run, attempts, None))
+                started = time.monotonic()
+                try:
+                    result_dict = execute_payload(
+                        self._payload(run),
+                        wall_clock_budget=self.config.timeout)
+                except KeyboardInterrupt:
+                    self.interrupts = max(self.interrupts, 1)
+                    self._pending = pending[index:]
+                    return
+                result = FaultRunResult.from_dict(result_dict)
+                result.attempts = attempts
+                result.wall_time_s = time.monotonic() - started
+                if not self._retry_timeout(run, result, attempts) \
+                        or self.interrupts:
+                    break
             self._record_result(run, result)
 
     # -- pool path ------------------------------------------------------
@@ -385,10 +443,8 @@ class CampaignExecutor:
             handle.run = run
             handle.attempt = self._attempts.get(run.run_id, 0) + 1
             handle.dispatch_time = time.monotonic()
-            self._append_journal({"event": "dispatch",
-                                  "run": run.run_id,
-                                  "attempt": handle.attempt,
-                                  "worker": handle.process.pid})
+            self._append_journal(self._dispatch_record(
+                run, handle.attempt, handle.process.pid))
             handle.task_queue.put((run.run_id, self._payload(run)))
 
     def _pump_results(self):
@@ -423,7 +479,10 @@ class CampaignExecutor:
         if kind == "done":
             result = FaultRunResult.from_dict(message[3])
             result.attempts = attempt
-            self._record_result(run, result)
+            if self._retry_timeout(run, result, attempt):
+                self._pending.insert(0, run)
+            else:
+                self._record_result(run, result)
         elif kind == "error":
             # The execution machinery itself raised inside the worker;
             # the simulator layer would have contained a model crash.
@@ -501,19 +560,29 @@ class CampaignExecutor:
         handle.dispatch_time = None
         self._retire(handle)
         self._attempts[run.run_id] = attempt
-        self._append_journal({"event": "attempt-failed",
-                              "run": run.run_id, "attempt": attempt,
-                              "reason": reason, "detail": detail})
+        record = {"event": "attempt-failed",
+                  "run": run.run_id, "attempt": attempt,
+                  "reason": reason, "detail": detail}
+        checkpoint_dir = self.config.run_checkpoint_dir(run.run_id)
+        if checkpoint_dir:
+            record["checkpoint"] = checkpoint_dir
+        self._append_journal(record)
         if reason == "timeout":
-            # Re-running a deadline miss would just burn the budget
-            # twice; classify it terminally.
-            result = FaultRunResult(
-                scenario=run.scenario, fault=run.fault,
-                outcome="timeout", detail=detail,
-                spec=run.spec.to_dict(), attempts=attempt,
-                wall_time_s=elapsed,
-            )
-            self._record_result(run, result)
+            if checkpoint_dir and attempt < self.config.max_attempts:
+                # The run's checkpoint store holds its progress up to
+                # the kill; re-dispatching resumes from there instead
+                # of burning the whole budget again.
+                self._pending.insert(0, run)
+            else:
+                # Without checkpoints a re-run would just repeat the
+                # deadline miss; classify it terminally.
+                result = FaultRunResult(
+                    scenario=run.scenario, fault=run.fault,
+                    outcome="timeout", detail=detail,
+                    spec=run.spec.to_dict(), attempts=attempt,
+                    wall_time_s=elapsed,
+                )
+                self._record_result(run, result)
         else:
             self._note_pool_failure()
             if attempt >= self.config.max_attempts:
@@ -534,9 +603,12 @@ class CampaignExecutor:
         if self.config.quarantine:
             artefact = self._write_artefact(run, "quarantine")
             self.report.quarantined[run.run_id] = artefact
-            self._append_journal({"event": "quarantine",
-                                  "run": run.run_id,
-                                  "artefact": artefact})
+            record = {"event": "quarantine", "run": run.run_id,
+                      "artefact": artefact}
+            checkpoint_dir = self.config.run_checkpoint_dir(run.run_id)
+            if checkpoint_dir:
+                record["checkpoint"] = checkpoint_dir
+            self._append_journal(record)
             result = FaultRunResult(
                 scenario=run.scenario, fault=run.fault,
                 outcome="quarantined",
@@ -597,7 +669,51 @@ class CampaignExecutor:
                    "fault": run.fault, "spec": run.spec.to_dict()}
         if self.config.collect_coverage:
             payload["coverage"] = True
+        checkpoint_dir = self.config.run_checkpoint_dir(run.run_id)
+        if checkpoint_dir:
+            payload["checkpoint"] = {
+                "dir": checkpoint_dir,
+                "interval_cycles": self.config.checkpoint_interval,
+                "keep": self.config.checkpoint_keep,
+            }
+        elif self.config.warm_start_dir:
+            # Lazy import: exec must stay importable without the fuzz
+            # package loaded (fuzz imports exec, never the reverse at
+            # module scope).
+            from ..fuzz.warmstart import WarmStartCache
+            warm = WarmStartCache(self.config.warm_start_dir).plan(
+                run.spec)
+            if warm is not None:
+                payload["warm_start"] = warm
         return payload
+
+    def _dispatch_record(self, run, attempt, worker_pid):
+        record = {"event": "dispatch", "run": run.run_id,
+                  "attempt": attempt, "worker": worker_pid}
+        checkpoint_dir = self.config.run_checkpoint_dir(run.run_id)
+        if checkpoint_dir:
+            record["checkpoint"] = checkpoint_dir
+        return record
+
+    def _retry_timeout(self, run, result, attempt):
+        """A *cooperative* in-worker timeout landed as a normal result.
+        With checkpointing on, the run's store holds real progress —
+        burn another attempt to resume it rather than recording the
+        timeout terminally (bounded by ``max_attempts``)."""
+        if result.outcome != "timeout":
+            return False
+        checkpoint_dir = self.config.run_checkpoint_dir(run.run_id)
+        if not checkpoint_dir or attempt >= self.config.max_attempts:
+            return False
+        self._attempts[run.run_id] = attempt
+        self._append_journal({
+            "event": "attempt-failed", "run": run.run_id,
+            "attempt": attempt, "reason": "timeout",
+            "detail": "cooperative deadline hit; will resume from "
+                      "the newest checkpoint",
+            "checkpoint": checkpoint_dir,
+        })
+        return True
 
     def _record_result(self, run, result):
         self.report.results[run.run_id] = result

@@ -19,6 +19,13 @@ Event vocabulary::
     {"event": "result", "run": ID, "result": {...}}
     {"event": "quarantine", "run": ID, "artefact": PATH}
     {"event": "interrupted", "phase": "drain"|"abort"}
+
+When intra-run checkpointing is enabled, ``dispatch`` /
+``attempt-failed`` / ``quarantine`` records additionally carry a
+``checkpoint`` key naming the run's checkpoint-store directory, and
+``interrupted`` records carry the ``signal`` name (``SIGINT`` /
+``SIGTERM``) that stopped the campaign.  Both keys are additive;
+loaders ignore unknown keys.
 """
 
 from __future__ import annotations

@@ -53,11 +53,25 @@ def execute_payload(payload, wall_clock_budget=None):
     if payload.get("coverage"):
         from ..fuzz.coverage import CoverageProbe
         probe = CoverageProbe()
+    plan = None
+    if payload.get("checkpoint"):
+        from ..state import CheckpointPlan, CheckpointStore
+        checkpoint = payload["checkpoint"]
+        plan = CheckpointPlan(
+            interval_cycles=checkpoint.get("interval_cycles", 1000),
+            store=CheckpointStore(checkpoint["dir"],
+                                  keep=checkpoint.get("keep")),
+        )
     spec = RunSpec.from_dict(payload["spec"])
     start = time.monotonic()
+    # resume=True is always safe: an empty store simply starts the run
+    # from cycle 0, while a re-dispatched attempt picks up from the
+    # newest checkpoint its predecessor persisted.
     system, outcome = execute(
         spec, wall_clock_budget=wall_clock_budget,
-        instrument=probe.install if probe is not None else None)
+        instrument=probe.install if probe is not None else None,
+        checkpoint=plan, resume=plan is not None,
+        warm_start=payload.get("warm_start") if plan is None else None)
     result = result_from_execution(
         payload["scenario"], payload["fault"], system, outcome,
         spec=spec, wall_time_s=time.monotonic() - start,

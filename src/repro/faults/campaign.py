@@ -249,16 +249,18 @@ class CampaignResult:
     """All runs of one campaign, with a renderable report."""
 
     def __init__(self, runs, duration_us, jobs=1, wall_time_s=0.0,
-                 interrupted=False, resumed=0, degraded=False,
-                 journal=None):
+                 interrupted=False, interrupt_signal=None, resumed=0,
+                 degraded=False, journal=None):
         self.runs = list(runs)
         self.duration_us = duration_us
         #: Worker processes the campaign was dispatched across.
         self.jobs = jobs
         #: Host wall-clock seconds the whole campaign took.
         self.wall_time_s = wall_time_s
-        #: True when the campaign was stopped early (SIGINT drain).
+        #: True when the campaign was stopped early (SIGINT/SIGTERM
+        #: drain); ``interrupt_signal`` is the stopping signal number.
         self.interrupted = interrupted
+        self.interrupt_signal = interrupt_signal
         #: Runs restored from a journal instead of executed.
         self.resumed = resumed
         #: True when repeated pool failure forced the executor back to
@@ -328,6 +330,7 @@ class CampaignResult:
             "jobs": self.jobs,
             "wall_time_s": self.wall_time_s,
             "interrupted": self.interrupted,
+            "interrupt_signal": self.interrupt_signal,
             "resumed": self.resumed,
             "degraded": self.degraded,
             "runs": [run.to_dict() for run in self.runs],
@@ -435,7 +438,8 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                        hready_timeout=16, retry_budget=6,
                        split_timeout=64, recover=True,
                        check_protocol="record", jobs=1, timeout=None,
-                       journal=None, resume=False,
+                       journal=None, resume=False, checkpoint_dir=None,
+                       checkpoint_interval=1000,
                        executor_config=None):
     """Run every (scenario, fault) combination and report.
 
@@ -462,9 +466,15 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         process count (1 = in-process serial), per-run wall-clock
         deadline in host seconds, append-only JSONL journal path, and
         whether to skip runs already journalled as complete.
+    checkpoint_dir, checkpoint_interval:
+        With ``checkpoint_dir`` set, every run periodically checkpoints
+        its full simulation state (every ``checkpoint_interval`` bus
+        cycles) under ``checkpoint_dir/<run-id>/`` and a killed or
+        timed-out attempt resumes from its newest checkpoint — see
+        :mod:`repro.state` and docs/RESILIENCE.md §7.
     executor_config:
         A pre-built :class:`repro.exec.ExecutorConfig`; overrides the
-        four knobs above.
+        executor knobs above.
 
     Returns a :class:`CampaignResult`; per-run failures (simulator
     exceptions, deadline blow-throughs, dead or hung workers) are
@@ -483,7 +493,9 @@ def run_fault_campaign(scenarios=("portable-audio-player",
     config = executor_config
     if config is None:
         config = ExecutorConfig(jobs=jobs, timeout=timeout,
-                                journal=journal, resume=resume)
+                                journal=journal, resume=resume,
+                                checkpoint_dir=checkpoint_dir,
+                                checkpoint_interval=checkpoint_interval)
     report = execute_campaign(runs, config)
     ordered = [report.results[run.run_id] for run in runs
                if run.run_id in report.results]
@@ -496,6 +508,7 @@ def run_fault_campaign(scenarios=("portable-audio-player",
     return CampaignResult(
         ordered, duration_us, jobs=config.jobs,
         wall_time_s=report.wall_time_s, interrupted=report.interrupted,
+        interrupt_signal=report.interrupt_signal,
         resumed=report.resumed, degraded=report.degraded,
         journal=config.journal,
     )

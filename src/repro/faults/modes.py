@@ -53,6 +53,15 @@ class HangSlave(MemorySlave):
         """True once the slave has started hanging the bus."""
         return self.hangs > 0
 
+    def state_dict(self):
+        state = super().state_dict()
+        state["hangs"] = self.hangs
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.hangs = state["hangs"]
+
 
 class AlwaysRetrySlave(MemorySlave):
     """A memory slave that answers RETRY to every transfer after its
@@ -94,6 +103,15 @@ class UnreleasedSplitSlave(MemorySlave):
             self.splits_issued += 1
             return (0, HRESP.SPLIT)
         return (waits, response)
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["splits_issued"] = self.splits_issued
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self.splits_issued = state["splits_issued"]
 
 
 class BabblingMaster(Module):
@@ -141,3 +159,17 @@ class BabblingMaster(Module):
         port.hburst.write(int(self.rng.choice(
             (HBURST.SINGLE, HBURST.INCR4))))
         port.hwdata.write(self.rng.getrandbits(32))
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        from ..state.rng import rng_state
+        return {
+            "rng": rng_state(self.rng),
+            "babbled_cycles": self.babbled_cycles,
+        }
+
+    def load_state_dict(self, state):
+        from ..state.rng import load_rng_state
+        load_rng_state(self.rng, state["rng"])
+        self.babbled_cycles = state["babbled_cycles"]

@@ -25,6 +25,7 @@ import json
 import os
 
 from ..replay import RunSpec
+from ..state import atomic_write_json
 
 #: Corpus entry file format marker.
 FORMAT = "repro-fuzz-corpus/1"
@@ -139,11 +140,10 @@ class Corpus:
         return True
 
     def _write(self, entry):
-        os.makedirs(self.root, exist_ok=True)
+        # Atomic: a worker killed mid-admission must never leave a
+        # truncated entry file that breaks the next Corpus.load.
         path = os.path.join(self.root, entry.entry_id + ".json")
-        with open(path, "w") as fh:
-            json.dump(entry.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(path, entry.to_dict())
 
     @classmethod
     def load(cls, root):

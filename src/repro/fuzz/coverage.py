@@ -110,15 +110,47 @@ class CoverageProbe:
     def __init__(self):
         self.keys = set()
         self._installed = False
+        self._monitor = None
+        self._power = None
 
     def install(self, system):
         """Attach the bus monitor and power-FSM hook to *system*."""
         self._installed = True
-        _BusCoverageMonitor(system.sim, "fuzz_coverage", system.clk,
-                            system.bus, self.keys)
+        self._monitor = _BusCoverageMonitor(
+            system.sim, "fuzz_coverage", system.clk, system.bus,
+            self.keys)
         if system.monitor is not None:
             fsm = system.monitor.fsm
-            fsm.tracer = _PowerCoverage(self.keys, chained=fsm.tracer)
+            self._power = _PowerCoverage(self.keys, chained=fsm.tracer)
+            fsm.tracer = self._power
+        # The probe is itself checkpointable state: mid-run snapshots
+        # (periodic checkpoints, shared warm-start prefixes) capture
+        # the keys observed so far plus the monitors' edge-detection
+        # state, so a restored run accumulates the exact key set a
+        # straight run would have — coverage-guided corpus evolution
+        # stays bit-identical whether or not a prefix was skipped.
+        system.sim.register_state("fuzz_coverage", self)
+
+    def state_dict(self):
+        return {
+            "keys": sorted(self.keys),
+            "bus_prev": self._monitor._prev_htrans
+            if self._monitor is not None else None,
+            "power_prev": self._power._prev.name
+            if self._power is not None and self._power._prev is not None
+            else None,
+        }
+
+    def load_state_dict(self, state):
+        from ..power.instructions import BusMode
+        self.keys.clear()
+        self.keys.update(state["keys"])
+        if self._monitor is not None:
+            self._monitor._prev_htrans = state["bus_prev"]
+        if self._power is not None:
+            self._power._prev = (BusMode[state["power_prev"]]
+                                 if state["power_prev"] is not None
+                                 else None)
 
     def coverage_keys(self, system, outcome):
         """The sorted coverage key list of one executed run."""
@@ -179,9 +211,10 @@ class CoverageMap:
         return cls(data.get("coverage", {}))
 
     def save(self, path):
-        with open(path, "w") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        # Atomic for the same reason as state.json: coverage.json is
+        # loaded on --resume and must never be seen half-written.
+        from ..state import atomic_write_json
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path):

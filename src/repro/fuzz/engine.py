@@ -38,6 +38,7 @@ from ..faults.campaign import CampaignRun
 from ..replay import RunOutcome, RunSpec, campaign_spec
 from ..replay.shrink import failure_signature, shrink
 from ..replay.trace import ReplayTrace
+from ..state import atomic_write_json
 from ..workloads import SCENARIOS
 from .corpus import Corpus, CorpusEntry, entry_id_for
 from .coverage import CoverageMap
@@ -96,6 +97,14 @@ class FuzzConfig:
     resume:
         Restore ``state.json`` (RNG state, budgets, seen failure
         signatures) and continue the campaign.
+    warm_start:
+        Warm-start mutated candidates from shared scenario-prefix
+        checkpoints (``<corpus>/warmstart/``, see
+        :mod:`repro.fuzz.warmstart`): siblings that differ from their
+        parent only after the first signal-fault window opens skip
+        re-simulating the common prefix.  Corpus evolution stays
+        bit-identical to a cold campaign — the probe's coverage state
+        is checkpointed along with the simulation.
     """
 
     def __init__(self, budget=100, seed=1, jobs=1, timeout=None,
@@ -103,7 +112,7 @@ class FuzzConfig:
                  batch_size=8, shrink=True, min_shrink_duration_us=0.5,
                  reproducer_dir=None, coverage_out=None,
                  max_sim_us=None, max_energy_j=None,
-                 wall_budget_s=None, resume=False):
+                 wall_budget_s=None, resume=False, warm_start=False):
         self.budget = max(1, int(budget))
         self.seed = int(seed)
         self.jobs = max(1, int(jobs))
@@ -120,6 +129,7 @@ class FuzzConfig:
         self.max_energy_j = max_energy_j
         self.wall_budget_s = wall_budget_s
         self.resume = resume
+        self.warm_start = warm_start
 
 
 class FuzzReport:
@@ -362,9 +372,10 @@ class FuzzCampaign:
             "failures": sorted(self.seen_failures),
             "rng_state": list(self.rng.getstate()),
         }
-        with open(self.state_path, "w") as fh:
-            json.dump(state, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        # Atomic: a campaign killed mid-save must leave either the old
+        # complete state.json or the new one, never a truncated file
+        # that poisons the next --resume.
+        atomic_write_json(self.state_path, state)
         self.coverage.save(self.coverage_path)
 
     # -- budget ---------------------------------------------------------
@@ -436,7 +447,9 @@ class FuzzCampaign:
                 for entry_id, spec, _, _ in batch]
         exec_config = ExecutorConfig(
             jobs=self.config.jobs, timeout=self.config.timeout,
-            collect_coverage=True, artefact_dir=self.root)
+            collect_coverage=True, artefact_dir=self.root,
+            warm_start_dir=(os.path.join(self.root, "warmstart")
+                            if self.config.warm_start else None))
         return execute_campaign(runs, exec_config)
 
     def _fold_batch(self, batch, exec_report, admit_all=False):

@@ -19,6 +19,7 @@ from .errors import (
     KernelError,
     ProcessError,
     SimulationError,
+    StateError,
     TracingError,
     WallClockDeadlineError,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "Signal",
     "SimulationError",
     "Simulator",
+    "StateError",
     "ThreadProcess",
     "TracingError",
     "WallClockDeadlineError",

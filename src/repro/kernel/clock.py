@@ -48,7 +48,7 @@ class Clock:
         self.signal = Signal(sim, name, init=0, width=1)
         self._start_low = start_low
         self.cycles = 0
-        sim.add_thread(self._drive, name=name + ".driver")
+        self._process = sim.add_thread(self._drive, name=name + ".driver")
 
     @classmethod
     def from_frequency(cls, sim, name, frequency_hz, **kwargs):
@@ -74,6 +74,45 @@ class Clock:
     def _drive(self):
         if self._start_low:
             yield self.low_time
+        while True:
+            self.signal.write(1)
+            self.cycles += 1
+            yield self.high_time
+            self.signal.write(0)
+            yield self.low_time
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Snapshot state: the edge counter.
+
+        The driver generator's park position is fully determined by the
+        committed clock level (high ⇒ the next resume drives the
+        falling edge, low ⇒ the rising edge), so it needs no explicit
+        serialization — :meth:`load_state_dict` re-arms a fresh
+        generator positioned from the restored signal value.
+        """
+        return {"cycles": self.cycles}
+
+    def load_state_dict(self, state):
+        self.cycles = int(state["cycles"])
+        if self.signal.value:
+            self._process._gen = self._resume_from_high()
+        else:
+            self._process._gen = self._resume_from_low()
+
+    def _resume_from_high(self):
+        """Continuation of :meth:`_drive` parked after a rising edge."""
+        while True:
+            self.signal.write(0)
+            yield self.low_time
+            self.signal.write(1)
+            self.cycles += 1
+            yield self.high_time
+
+    def _resume_from_low(self):
+        """Continuation of :meth:`_drive` parked after a falling edge
+        (or still before the first rising edge)."""
         while True:
             self.signal.write(1)
             self.cycles += 1

@@ -69,5 +69,15 @@ class ElaborationError(KernelError):
     """The model is structurally invalid (bad binding, duplicate names, ...)."""
 
 
+class StateError(KernelError):
+    """A snapshot or restore operation is invalid.
+
+    Raised when state is captured at a non-quiescent point (mid-delta,
+    staged signal writes pending) or when a snapshot does not match the
+    elaborated design it is being restored into (different signal sets,
+    unresolvable process or event names, missing state providers).
+    """
+
+
 class TracingError(KernelError):
     """A waveform tracing operation failed."""

@@ -38,6 +38,9 @@ class Event:
         self.name = name
         self._static_waiters = []
         self._dynamic_waiters = []
+        register = getattr(sim, "_register_event", None)
+        if register is not None:
+            register(self)
 
     def __repr__(self):
         return "Event(%r)" % self.name

@@ -243,6 +243,68 @@ class FaultInjector:
         """The faults currently corrupting their signals."""
         return [fault for fault in self.faults if fault._active]
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Scheduler + per-fault activation state.
+
+        Fault states are positional: the restored injector must carry
+        the same fault list (same kinds, same order) as the one the
+        snapshot was taken from — guaranteed when both are built from
+        the same :class:`~repro.replay.trace.RunSpec`.
+        """
+        from ..state.rng import rng_state
+        return {
+            "rng": rng_state(self.rng),
+            "injections": self.injections,
+            "faults": [
+                {
+                    "fires": fault.fires,
+                    "active_cycles": fault.active_cycles,
+                    "remaining": fault._remaining,
+                    "active": fault._active,
+                    "fired_once": fault._fired_once,
+                }
+                for fault in self.faults
+            ],
+        }
+
+    def load_state_dict(self, state):
+        from ..state.rng import load_rng_state
+        load_rng_state(self.rng, state["rng"])
+        self.injections = state["injections"]
+        fault_states = state["faults"]
+        if len(fault_states) != len(self.faults):
+            raise ValueError(
+                "checkpoint has %d fault states, injector has %d faults"
+                % (len(fault_states), len(self.faults)))
+        signals = set()
+        for fault, fault_state in zip(self.faults, fault_states):
+            fault.fires = fault_state["fires"]
+            fault.active_cycles = fault_state["active_cycles"]
+            fault._remaining = fault_state["remaining"]
+            fault._active = fault_state["active"]
+            fault._fired_once = fault_state["fired_once"]
+            signals.add(fault.signal)
+        # Reinstall the corruption hooks directly: the kernel restore
+        # cleared every signal's _inject, and the committed values
+        # already reflect any active corruption, so going through
+        # set_injection (which restages the driver value) would corrupt
+        # a second time for non-idempotent faults such as BitFlipFault.
+        for signal in signals:
+            active = [fault for fault in self.faults
+                      if fault.signal is signal and fault._active]
+            if not active:
+                signal._inject = None
+            elif len(active) == 1:
+                signal._inject = active[0].corrupt
+            else:
+                def composite(value, _chain=tuple(active)):
+                    for fault in _chain:
+                        value = fault.corrupt(value)
+                    return value
+                signal._inject = composite
+
     def __repr__(self):
         return "FaultInjector(faults=%d, injections=%d)" % (
             len(self.faults), self.injections,

@@ -25,6 +25,7 @@ from .errors import (
     DeltaCycleLimitError,
     ProcessError,
     SimulationError,
+    StateError,
     WallClockDeadlineError,
 )
 from .events import Event, MethodProcess, ThreadProcess
@@ -62,11 +63,16 @@ class Simulator:
         self._running = False
         self.delta_count = 0
         self._observer = None
+        self._events = []
+        self._state_providers = {}
 
     # -- construction hooks (used by Signal / Module / processes) ------
 
     def _register_signal(self, signal):
         self._signals.append(signal)
+
+    def _register_event(self, event):
+        self._events.append(event)
 
     def _make_runnable(self, process):
         self._runnable.append(process)
@@ -151,6 +157,213 @@ class Simulator:
     def observer(self):
         """The attached kernel observer, or None."""
         return self._observer
+
+    # -- state capture / restore ----------------------------------------
+
+    def register_state(self, path, provider):
+        """Register a component state provider under *path*.
+
+        *provider* exposes ``state_dict() -> dict`` (JSON-able) and
+        ``load_state_dict(state)``.  Providers are captured and restored
+        in registration order, so a provider whose restore depends on
+        another's (e.g. a global counter reset) registers after it.
+        """
+        if path in self._state_providers:
+            raise StateError("duplicate state provider path %r" % path)
+        if not hasattr(provider, "state_dict") or \
+                not hasattr(provider, "load_state_dict"):
+            raise StateError(
+                "state provider %r must define state_dict() and "
+                "load_state_dict()" % path)
+        self._state_providers[path] = provider
+        return provider
+
+    @property
+    def state_providers(self):
+        """Mapping of registered state paths to providers (read-only)."""
+        return dict(self._state_providers)
+
+    def _assert_quiescent(self, verb):
+        if self._running:
+            raise StateError("cannot %s while the simulator is running; "
+                             "call between run() chunks" % verb)
+        if self._runnable or self._update_queue or self._delta_events:
+            raise StateError(
+                "cannot %s at a non-quiescent point: %d runnable "
+                "process(es), %d staged signal(s), %d pending delta "
+                "event(s)" % (verb, len(self._runnable),
+                              len(self._update_queue),
+                              len(self._delta_events)))
+        staged = [signal.name for signal in self._signals if signal._staged]
+        if staged:
+            raise StateError(
+                "cannot %s with staged signal writes pending: %s"
+                % (verb, ", ".join(staged[:5])))
+
+    def snapshot(self):
+        """Capture the full simulation state as a plain JSON-able tree.
+
+        Must be called at a quiescent point — after :meth:`run` has
+        returned — where no delta activity is pending; anywhere else
+        raises :class:`StateError`.  The tree has a ``kernel`` section
+        (time, counters, signal values, the pending timed queue,
+        process termination flags) and a ``components`` section with
+        one ``state_dict()`` per registered provider.
+        """
+        self._assert_quiescent("snapshot")
+        signals = {}
+        drivers = {}
+        for signal in self._signals:
+            if signal.name in signals:
+                raise StateError(
+                    "duplicate signal name %r; snapshots need unique "
+                    "signal names" % signal.name)
+            signals[signal.name] = signal._value
+            if signal._next != signal._value:
+                # Committed and driven values only diverge under an
+                # active injection hook; the healthy driver value must
+                # survive the restore or clearing the fault would
+                # recommit the corrupted value.
+                drivers[signal.name] = signal._next
+        timed = []
+        for entry_time, seq, kind, payload in sorted(
+                self._timed, key=lambda entry: entry[:2]):
+            timed.append([entry_time, seq, kind, payload.name])
+        kernel = {
+            "now": self.now,
+            "sequence": self._sequence,
+            "delta_count": self.delta_count,
+            "signals": signals,
+            "drivers": drivers,
+            "timed": timed,
+            "terminated": sorted(process.name
+                                 for process in self._processes
+                                 if process.terminated),
+        }
+        components = {
+            path: provider.state_dict()
+            for path, provider in self._state_providers.items()
+        }
+        return {"kernel": kernel, "components": components}
+
+    def restore(self, tree):
+        """Load a :meth:`snapshot` tree into this (elaborated) simulator.
+
+        The simulator must have been elaborated identically to the one
+        the snapshot was taken from (same signals, processes and state
+        providers); mismatches raise :class:`StateError`.  Any pending
+        activity — the initial runnables of a fresh elaboration, or the
+        stale schedule of a simulator being rewound — is discarded and
+        replaced by the snapshot's timed queue.  Thread processes other
+        than those re-armed by their owning provider (e.g.
+        :class:`~repro.kernel.clock.Clock`) are not repositioned.
+        """
+        if self._running:
+            raise StateError("cannot restore while the simulator is "
+                             "running")
+        kernel = tree["kernel"]
+
+        # Discard pending activity from elaboration or a previous run.
+        self._runnable.clear()
+        self._update_queue.clear()
+        self._delta_events.clear()
+        for event in self._events:
+            event._dynamic_waiters.clear()
+
+        # Signals: the snapshot and the elaborated design must agree
+        # on the exact signal set.
+        by_name = {}
+        for signal in self._signals:
+            if signal.name in by_name:
+                raise StateError("duplicate signal name %r" % signal.name)
+            by_name[signal.name] = signal
+        snap_signals = kernel["signals"]
+        missing = sorted(set(snap_signals) - set(by_name))
+        extra = sorted(set(by_name) - set(snap_signals))
+        if missing or extra:
+            raise StateError(
+                "snapshot does not match the elaborated design: "
+                "%d signal(s) only in snapshot (%s), %d only in design "
+                "(%s)" % (len(missing), ", ".join(missing[:3]),
+                          len(extra), ", ".join(extra[:3])))
+        for name, value in snap_signals.items():
+            signal = by_name[name]
+            signal._value = value
+            signal._next = value
+            signal._staged = False
+            signal._inject = None  # providers reinstall active faults
+        for name, next_value in kernel.get("drivers", {}).items():
+            if name not in by_name:
+                raise StateError(
+                    "driver value for unknown signal %r" % name)
+            by_name[name]._next = next_value
+
+        # Processes: termination flags and dynamic-wait cleanup.
+        processes = {}
+        ambiguous = set()
+        for process in self._processes:
+            if process.name in processes:
+                ambiguous.add(process.name)
+            processes[process.name] = process
+        terminated = set(kernel.get("terminated", ()))
+        unknown = terminated - set(processes)
+        if unknown:
+            raise StateError("snapshot terminates unknown process(es): %s"
+                             % ", ".join(sorted(unknown)[:5]))
+        for process in self._processes:
+            process.terminated = process.name in terminated
+            if isinstance(process, ThreadProcess):
+                process._pending_events = ()
+
+        # Timed queue: resolve names back to processes / events.
+        events = {}
+        ambiguous_events = set()
+        for event in self._events:
+            if event.name in events:
+                ambiguous_events.add(event.name)
+            events[event.name] = event
+        timed = []
+        for entry_time, seq, kind, name in kernel["timed"]:
+            if kind == "wake":
+                if name in ambiguous:
+                    raise StateError(
+                        "timed wake for ambiguous process name %r" % name)
+                payload = processes.get(name)
+                if payload is None:
+                    raise StateError(
+                        "timed wake for unknown process %r" % name)
+            elif kind == "event":
+                if name in ambiguous_events:
+                    raise StateError(
+                        "timed notify for ambiguous event name %r" % name)
+                payload = events.get(name)
+                if payload is None:
+                    raise StateError(
+                        "timed notify for unknown event %r" % name)
+            else:
+                raise StateError("unknown timed entry kind %r" % kind)
+            timed.append((int(entry_time), int(seq), kind, payload))
+        heapq.heapify(timed)
+        self._timed = timed
+
+        self.now = int(kernel["now"])
+        self._sequence = int(kernel["sequence"])
+        self.delta_count = int(kernel.get("delta_count", 0))
+        self._stop_requested = False
+
+        # Component providers, in registration order.
+        components = tree.get("components", {})
+        snap_paths = set(components)
+        have_paths = set(self._state_providers)
+        if snap_paths != have_paths:
+            raise StateError(
+                "snapshot component set does not match registered "
+                "providers: only in snapshot %s; only registered %s"
+                % (sorted(snap_paths - have_paths)[:3],
+                   sorted(have_paths - snap_paths)[:3]))
+        for path, provider in self._state_providers.items():
+            provider.load_state_dict(components[path])
+        return self.now
 
     # -- execution ------------------------------------------------------
 

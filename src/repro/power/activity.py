@@ -134,6 +134,44 @@ class Activity:
             for signal in self.signals
         }
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Per-signal accumulators keyed by signal *name* (the dicts
+        themselves are keyed by Signal objects, which do not survive
+        serialization)."""
+        return {
+            "stored": {signal.name: self._stored[signal]
+                       for signal in self.signals},
+            "bit_changes": self._bit_changes,
+            "transitions": {
+                signal.name: self._transitions_per_signal[signal]
+                for signal in self.signals
+            },
+            "ones": {signal.name: self._ones_accumulator[signal]
+                     for signal in self.signals},
+            "samples_taken": self.samples_taken,
+        }
+
+    def load_state_dict(self, state):
+        by_name = {signal.name: signal for signal in self.signals}
+        if set(by_name) != set(state["stored"]):
+            raise ValueError(
+                "activity group %r signal set changed since checkpoint"
+                % self.name)
+        self._stored = {by_name[name]: value
+                        for name, value in state["stored"].items()}
+        self._bit_changes = state["bit_changes"]
+        self._transitions_per_signal = {
+            by_name[name]: count
+            for name, count in state["transitions"].items()
+        }
+        self._ones_accumulator = {
+            by_name[name]: count
+            for name, count in state["ones"].items()
+        }
+        self.samples_taken = state["samples_taken"]
+
     def __repr__(self):
         return "Activity(%r, signals=%d, bit_changes=%d)" % (
             self.name, len(self.signals), self._bit_changes,

@@ -170,6 +170,32 @@ class EnergyLedger:
             )
         return True
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        return {
+            "block_energy": dict(sorted(self.block_energy.items())),
+            "instructions": {
+                name: [stats.count, stats.energy]
+                for name, stats in sorted(self.instructions.items())
+            },
+            "response_energy": dict(
+                sorted(self.response_energy.items())),
+            "total_energy": self.total_energy,
+            "cycles": self.cycles,
+        }
+
+    def load_state_dict(self, state):
+        self.block_energy = dict(state["block_energy"])
+        self.instructions = {}
+        for name, (count, energy) in state["instructions"].items():
+            stats = self.instructions[name] = InstructionStats()
+            stats.count = count
+            stats.energy = energy
+        self.response_energy = dict(state["response_energy"])
+        self.total_energy = state["total_energy"]
+        self.cycles = state["cycles"]
+
     def __repr__(self):
         return "EnergyLedger(cycles=%d, total=%.3e J)" % (
             self.cycles, self.total_energy,

@@ -271,6 +271,52 @@ class GlobalPowerMonitor(Module):
             "arb_in": self._arb_in.summary(),
         }
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Monitor, FSM, ledger and activity-group state.
+
+        Power *traces* (when enabled) are append-only history and are
+        NOT checkpointed — a restored run continues recording from the
+        restore point; see docs/RESILIENCE.md.
+        """
+        return {
+            "was_gated": self._was_gated,
+            "prev_haddr": self._prev_haddr,
+            "prev_owner": self._prev_owner,
+            "prev_dsel": self._prev_dsel,
+            "decode_hd_total": self.decode_hd_total,
+            "decode_change_count": self.decode_change_count,
+            "dsel_hd_total": self.dsel_hd_total,
+            "handover_total": self.handover_total,
+            "transfer_cycles": self.transfer_cycles,
+            "write_cycles": self.write_cycles,
+            "master_energy": list(self.master_energy),
+            "ledger": self.ledger.state_dict(),
+            "fsm": self.fsm.state_dict(),
+            "m2s_out": self._m2s_out.state_dict(),
+            "s2m_out": self._s2m_out.state_dict(),
+            "arb_in": self._arb_in.state_dict(),
+        }
+
+    def load_state_dict(self, state):
+        self._was_gated = state["was_gated"]
+        self._prev_haddr = state["prev_haddr"]
+        self._prev_owner = state["prev_owner"]
+        self._prev_dsel = state["prev_dsel"]
+        self.decode_hd_total = state["decode_hd_total"]
+        self.decode_change_count = state["decode_change_count"]
+        self.dsel_hd_total = state["dsel_hd_total"]
+        self.handover_total = state["handover_total"]
+        self.transfer_cycles = state["transfer_cycles"]
+        self.write_cycles = state["write_cycles"]
+        self.master_energy = list(state["master_energy"])
+        self.ledger.load_state_dict(state["ledger"])
+        self.fsm.load_state_dict(state["fsm"])
+        self._m2s_out.load_state_dict(state["m2s_out"])
+        self._s2m_out.load_state_dict(state["s2m_out"])
+        self._arb_in.load_state_dict(state["arb_in"])
+
 
 class LocalPowerMonitor(Module):
     """Instruction-table power analysis (local style).
@@ -319,6 +365,20 @@ class LocalPowerMonitor(Module):
     def total_energy(self):
         """Total accounted energy so far (joules)."""
         return self.ledger.total_energy
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        return {
+            "prev_owner": self._prev_owner,
+            "ledger": self.ledger.state_dict(),
+            "fsm": self.fsm.state_dict(),
+        }
+
+    def load_state_dict(self, state):
+        self._prev_owner = state["prev_owner"]
+        self.ledger.load_state_dict(state["ledger"])
+        self.fsm.load_state_dict(state["fsm"])
 
 
 class PrivatePowerMonitor(Module):
@@ -422,3 +482,22 @@ class PrivatePowerMonitor(Module):
     def total_energy(self):
         """Total accounted energy so far (joules)."""
         return self.ledger.total_energy
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        return {
+            "pending": dict(sorted(self._pending.items())),
+            "prev_owner": self._prev_owner,
+            "ledger": self.ledger.state_dict(),
+            "fsm": self.fsm.state_dict(),
+        }
+
+    def load_state_dict(self, state):
+        # The watcher closures hold a reference to the _pending dict:
+        # mutate it in place, never rebind it.
+        self._pending.clear()
+        self._pending.update(state["pending"])
+        self._prev_owner = state["prev_owner"]
+        self.ledger.load_state_dict(state["ledger"])
+        self.fsm.load_state_dict(state["fsm"])

@@ -88,3 +88,23 @@ class PowerFsm:
     def reset(self, mode=BusMode.IDLE):
         """Reset the FSM state (ledger contents are preserved)."""
         self.state = mode
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """FSM state (the ledger checkpoints separately; traces,
+        datafile and tracer are append-only sinks left alone)."""
+        return {
+            "state": self.state.value,
+            "cycles": self.cycles,
+            "instruction_log": [list(entry) for entry
+                                in self.instruction_log]
+            if self.instruction_log is not None else None,
+        }
+
+    def load_state_dict(self, state):
+        self.state = BusMode(state["state"])
+        self.cycles = state["cycles"]
+        log = state["instruction_log"]
+        self.instruction_log = [tuple(entry) for entry in log] \
+            if log is not None else None

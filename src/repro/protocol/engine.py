@@ -233,6 +233,44 @@ class ComplianceEngine(Module):
                 self._flag(rule_id, message, view)
         self._prev = view
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self):
+        """Engine + per-rule state.  Rule states are positional: the
+        restored engine must have been built with the same rule list."""
+        return {
+            "violations": [v.to_dict() for v in self.violations],
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+            "cycles_checked": self.cycles_checked,
+            "prev": self._prev.to_state() if self._prev is not None
+            else None,
+            "warned": sorted(self._warned),
+            "rules": [rule.state_dict() for rule in self.rules],
+        }
+
+    def load_state_dict(self, state):
+        self.violations = [
+            ProtocolViolation(
+                record["time_ps"], record["cycle"], record["rule"],
+                record["message"], spec=record["spec"],
+                snapshot=record["snapshot"],
+            )
+            for record in state["violations"]
+        ]
+        self.rule_counts = dict(state["rule_counts"])
+        self.cycles_checked = state["cycles_checked"]
+        prev = state["prev"]
+        self._prev = CycleView.from_state(prev) if prev is not None \
+            else None
+        self._warned = set(state["warned"])
+        rule_states = state["rules"]
+        if len(rule_states) != len(self.rules):
+            raise ValueError(
+                "checkpoint has %d rule states, engine has %d rules"
+                % (len(rule_states), len(self.rules)))
+        for rule, rule_state in zip(self.rules, rule_states):
+            rule.load_state_dict(rule_state)
+
     def __repr__(self):
         return "ComplianceEngine(%r, rules=%d, violations=%d)" % (
             self.name, len(self.rules), len(self.violations),

@@ -105,6 +105,26 @@ class CycleView:
             "split_mask": self.split_mask,
         }
 
+    def to_state(self):
+        """Full slot dump for checkpointing (a superset of
+        :meth:`snapshot`: includes ``dactive``, which the liveness
+        rules consult)."""
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["hsels"] = list(self.hsels)
+        state["hgrants"] = list(self.hgrants)
+        return state
+
+    @classmethod
+    def from_state(cls, state):
+        """Rebuild a view from :meth:`to_state` output without a bus."""
+        view = cls.__new__(cls)
+        for slot in cls.__slots__:
+            value = state[slot]
+            if slot in ("hsels", "hgrants"):
+                value = tuple(value)
+            setattr(view, slot, value)
+        return view
+
 
 class RuleInfo:
     """Catalogue entry: identity and provenance of one rule id."""
@@ -182,6 +202,13 @@ class Rule:
 
     def reset(self):
         """Discard accumulated state (new run on the same engine)."""
+
+    def state_dict(self):
+        """Checkpointable private state (empty for stateless rules)."""
+        return {}
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` output (no-op when stateless)."""
 
     def check(self, prev, view):  # pragma: no cover - interface
         """Yield ``(rule_id, message)`` for every violation this cycle.
@@ -356,6 +383,20 @@ class BurstSequenceRule(Rule):
         else:  # IDLE
             self._in_burst = False
 
+    def state_dict(self):
+        return {
+            "in_burst": self._in_burst,
+            "burst_addr": self._burst_addr,
+            "burst_ctrl": list(self._burst_ctrl)
+            if self._burst_ctrl is not None else None,
+        }
+
+    def load_state_dict(self, state):
+        self._in_burst = state["in_burst"]
+        self._burst_addr = state["burst_addr"]
+        ctrl = state["burst_ctrl"]
+        self._burst_ctrl = tuple(ctrl) if ctrl is not None else None
+
 
 class WaitLimitRule(Rule):
     """Bounded wait-state runs (§3.9.1 recommends at most 16).
@@ -383,6 +424,12 @@ class WaitLimitRule(Rule):
                    "HREADY low for more than %d consecutive cycles "
                    "(data-phase owner M%d)"
                    % (self.limit, view.hmaster_d))
+
+    def state_dict(self):
+        return {"streak": self._streak}
+
+    def load_state_dict(self, state):
+        self._streak = state["streak"]
 
 
 class RetryLivelockRule(Rule):
@@ -414,6 +461,14 @@ class RetryLivelockRule(Rule):
                        "completions" % (owner, self.limit))
         else:
             self._counts[owner] = 0
+
+    def state_dict(self):
+        return {"counts": {str(owner): count for owner, count
+                           in sorted(self._counts.items())}}
+
+    def load_state_dict(self, state):
+        self._counts = {int(owner): count for owner, count
+                        in state["counts"].items()}
 
 
 class SplitReleaseRule(Rule):
@@ -447,6 +502,14 @@ class SplitReleaseRule(Rule):
                            "master M%d split-masked for more than %d "
                            "cycles" % (bit, self.limit))
             bit += 1
+
+    def state_dict(self):
+        return {"ages": {str(bit): age for bit, age
+                         in sorted(self._ages.items())}}
+
+    def load_state_dict(self, state):
+        self._ages = {int(bit): age for bit, age
+                      in state["ages"].items()}
 
 
 def mandatory_rules():

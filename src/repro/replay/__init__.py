@@ -25,17 +25,21 @@ from .trace import (
     campaign_spec,
     execute,
 )
+from .verify import DivergenceReport, compare_streams, verify_digests
 
 __all__ = [
     "FORMAT",
+    "DivergenceReport",
     "FaultEntry",
     "ReplayTrace",
     "RunOutcome",
     "RunSpec",
     "ShrinkResult",
     "campaign_spec",
+    "compare_streams",
     "default_predicate",
     "execute",
     "failure_signature",
     "shrink",
+    "verify_digests",
 ]

@@ -22,8 +22,10 @@ from __future__ import annotations
 import json
 import traceback as _traceback
 
+from ..amba.transactions import reset_txn_ids
 from ..faults.campaign import _classify, fault_slave_factory
 from ..kernel import FaultInjector, WallClockDeadlineError, us
+from ..state import resume_latest, run_with_checkpoints
 from ..workloads import build_scenario
 
 #: Trace file format marker (bump on incompatible schema changes).
@@ -201,6 +203,12 @@ class RunOutcome:
     #: bit-exact comparisons stay path/line-number independent).
     traceback_text = None
 
+    #: State-digest stream recorded when the run was executed with a
+    #: checkpoint plan: ``{"interval_cycles": N, "entries": [...]}``.
+    #: Outside the fingerprint (it is the *oracle* for the fingerprint,
+    #: verified separately by :func:`repro.replay.verify_digests`).
+    digests = None
+
     @classmethod
     def of(cls, system, error_text=None, timed_out=False):
         """Fingerprint a finished (or dead) system."""
@@ -256,7 +264,57 @@ class RunOutcome:
         )
 
 
-def execute(spec, wall_clock_budget=None, instrument=None):
+#: Don't produce a shared warm-start checkpoint below this prefix
+#: length — restore overhead would rival the simulation it saves.
+#: (Local constant: the fuzz layer imports replay, never the reverse.)
+_MIN_WARM_CYCLES = 64
+
+
+def _run_warm(system, warm, duration_ps, wall_clock_budget):
+    """Run *system* for *duration_ps*, restoring (or producing) a
+    shared scenario-prefix checkpoint described by *warm*.
+
+    ``warm`` is the dict built by
+    :meth:`repro.fuzz.warmstart.WarmStartCache.plan`: the store
+    directory shared by all sibling genomes with the same prefix
+    signature, plus ``horizon_ps`` — the latest kernel time (exclusive)
+    a checkpoint may be reused at for *this* spec (strictly before its
+    earliest signal-fault window opens).  A usable checkpoint is
+    restored and only the remainder simulated; otherwise the run cold
+    starts, leaving a mid-prefix checkpoint behind for later siblings.
+    Either way the simulated trajectory is bit-identical to a plain
+    ``system.run(duration_ps)`` — the checkpoint layer's exactness
+    contract, plus the conservative prefix signature, guarantee it.
+    """
+    from ..state import CheckpointStore
+    store = CheckpointStore(warm["dir"], keep=1)
+    horizon = min(int(warm["horizon_ps"]), duration_ps)
+    snapshot = store.latest()
+    if snapshot is not None:
+        time_ps = int(snapshot.time_ps)
+        if 0 < time_ps < horizon:
+            system.restore(snapshot)
+            system.run(duration_ps - time_ps,
+                       wall_clock_budget=wall_clock_budget)
+            return
+    period = system.clk.period
+    warm_cycles = horizon // 2 // period
+    warm_ps = warm_cycles * period
+    if warm_cycles < _MIN_WARM_CYCLES or warm_ps >= duration_ps:
+        system.run(duration_ps, wall_clock_budget=wall_clock_budget)
+        return
+    system.run(warm_ps, wall_clock_budget=wall_clock_budget)
+    # No digest stream: streams are per-run records, and concurrent
+    # producers of one signature would interleave a shared one.  The
+    # write is atomic, so racing producers at worst store identical
+    # bytes twice.
+    store.put(system.snapshot(), record_stream=False)
+    system.run(duration_ps - warm_ps,
+               wall_clock_budget=wall_clock_budget)
+
+
+def execute(spec, wall_clock_budget=None, instrument=None,
+            checkpoint=None, resume=False, warm_start=None):
     """Re-execute *spec* on the kernel; return ``(system, outcome)``.
 
     Simulator exceptions are contained into the outcome (``crashed``,
@@ -268,11 +326,29 @@ def execute(spec, wall_clock_budget=None, instrument=None):
     callable invoked with the assembled system before the run starts
     (the fuzz engine hooks its coverage probe in here); its hooks must
     be strictly observe-only or the bit-exactness contract breaks.
+
+    ``checkpoint`` is an optional
+    :class:`~repro.state.CheckpointPlan`: the run executes in chunks,
+    recording a state digest at every interval boundary (and at the
+    end), available afterwards on ``outcome.digests``.  With
+    ``resume=True`` and a plan whose store holds a checkpoint, the run
+    restores the newest one and executes only the remaining duration —
+    intra-run crash recovery.  The global transaction id counter is
+    reset at entry (and captured in snapshots) so runs executed in the
+    same process stay bit-identical.
+
+    ``warm_start`` is an optional shared-prefix instruction (see
+    :func:`_run_warm` and :mod:`repro.fuzz.warmstart`); it is honoured
+    only when ``checkpoint`` is ``None`` — periodic checkpointing
+    already owns the run loop, and mixing the two would record digest
+    streams with a skipped prefix.
     """
     system = None
     error_text = None
     error_traceback = None
     timed_out = False
+    digest_entries = []
+    reset_txn_ids()
     try:
         overrides = {}
         for fault in spec.faults:
@@ -308,10 +384,27 @@ def execute(spec, wall_clock_budget=None, instrument=None):
                 else:
                     injector.glitch(target, fault.value,
                                     cycles=fault.cycles, **window)
+            system.sim.register_state("fault_injector", injector)
         if instrument is not None:
             instrument(system)
-        system.run(us(spec.duration_us),
-                   wall_clock_budget=wall_clock_budget)
+        if checkpoint is None:
+            if warm_start is not None:
+                _run_warm(system, warm_start, us(spec.duration_us),
+                          wall_clock_budget)
+            else:
+                system.run(us(spec.duration_us),
+                           wall_clock_budget=wall_clock_budget)
+        else:
+            if resume and checkpoint.store is not None:
+                resume_latest(system, checkpoint.store)
+            remaining = us(spec.duration_us) - system.sim.now
+            if remaining > 0:
+                run_with_checkpoints(
+                    system, remaining, checkpoint,
+                    wall_clock_budget=wall_clock_budget,
+                    on_interval=lambda _snap, entry:
+                    digest_entries.append(entry),
+                )
     except WallClockDeadlineError as exc:
         error_text = "%s: %s" % (type(exc).__name__, exc)
         timed_out = True
@@ -331,6 +424,17 @@ def execute(spec, wall_clock_budget=None, instrument=None):
         outcome = RunOutcome.of(system, error_text,
                                 timed_out=timed_out)
     outcome.traceback_text = error_traceback
+    if checkpoint is not None:
+        if checkpoint.store is not None:
+            # The store's stream is authoritative: on a resumed run it
+            # merges the pre-crash prefix with the re-recorded suffix.
+            entries = checkpoint.store.digest_stream()
+        else:
+            entries = digest_entries
+        outcome.digests = {
+            "interval_cycles": checkpoint.interval_cycles,
+            "entries": entries,
+        }
     return system, outcome
 
 
@@ -385,12 +489,17 @@ class ReplayTrace:
         return spec, recorded, actual, actual == recorded
 
     def to_dict(self):
-        return {
-            "format": FORMAT,
-            "runs": [{"spec": spec.to_dict(),
+        runs = []
+        for spec, outcome in self.records:
+            record = {"spec": spec.to_dict(),
                       "outcome": outcome.fingerprint()}
-                     for spec, outcome in self.records],
-        }
+            if outcome.digests is not None:
+                # Additive key (format stays repro-replay/1): loaders
+                # ignore unknown keys, so traces with digest streams
+                # remain readable by older code.
+                record["digests"] = outcome.digests
+            runs.append(record)
+        return {"format": FORMAT, "runs": runs}
 
     def save(self, path):
         with open(path, "w") as fh:
@@ -401,11 +510,13 @@ class ReplayTrace:
         if data.get("format") != FORMAT:
             raise ValueError("not a %s trace (format=%r)"
                              % (FORMAT, data.get("format")))
-        return cls(
-            (RunSpec.from_dict(record["spec"]),
-             RunOutcome(**record["outcome"]))
-            for record in data["runs"]
-        )
+        records = []
+        for record in data["runs"]:
+            spec = RunSpec.from_dict(record["spec"])
+            outcome = RunOutcome(**record["outcome"])
+            outcome.digests = record.get("digests")
+            records.append((spec, outcome))
+        return cls(records)
 
     @classmethod
     def load(cls, path):

@@ -1,0 +1,115 @@
+"""State-digest replay verification — the divergence oracle.
+
+:func:`verify_digests` re-executes a :class:`~repro.replay.RunSpec`
+with the same checkpoint cadence its digest stream was recorded at and
+compares the streams entry by entry.  Matching streams prove the two
+executions passed through bit-identical simulation states at every
+interval — a far stronger equivalence than the outcome fingerprint.
+
+On mismatch the verifier localizes the failure to the **first
+divergent interval** (state was identical at the previous entry,
+different at this one) and names the differing state *paths* from the
+per-section sub-digests (``kernel.signals``, ``components.master0``,
+...), so the report points at the misbehaving subsystem without
+storing whole state trees per interval.
+"""
+
+from __future__ import annotations
+
+from ..state import CheckpointPlan, diff_section_digests
+from .trace import execute
+
+
+class DivergenceReport:
+    """Result of one digest-stream verification."""
+
+    __slots__ = ("match", "entries_compared", "first_divergence",
+                 "recorded_entries", "actual_entries", "detail")
+
+    def __init__(self, match, entries_compared, first_divergence=None,
+                 recorded_entries=0, actual_entries=0, detail=""):
+        self.match = match
+        self.entries_compared = entries_compared
+        #: ``None``, or a dict with ``index``, ``cycle``,
+        #: ``recorded_digest``, ``actual_digest`` and ``paths`` (the
+        #: differing state sections, sorted).
+        self.first_divergence = first_divergence
+        self.recorded_entries = recorded_entries
+        self.actual_entries = actual_entries
+        self.detail = detail
+
+    def describe(self):
+        """One-paragraph human-readable summary."""
+        if self.match:
+            return ("digest streams identical across %d interval(s)"
+                    % self.entries_compared)
+        if self.first_divergence is None:
+            return self.detail or "digest streams differ"
+        div = self.first_divergence
+        return (
+            "first divergent interval: entry %d (cycle %d): recorded "
+            "%s…, actual %s…; differing state paths: %s"
+            % (div["index"], div["cycle"],
+               div["recorded_digest"][:12], div["actual_digest"][:12],
+               ", ".join(div["paths"]) or "<none at section level>")
+        )
+
+    def __repr__(self):
+        return "DivergenceReport(match=%r, entries=%d)" % (
+            self.match, self.entries_compared)
+
+
+def compare_streams(recorded, actual):
+    """Compare two digest-stream entry lists; returns a
+    :class:`DivergenceReport`.  Entries are compared positionally —
+    both streams must have been recorded at the same interval."""
+    compared = min(len(recorded), len(actual))
+    for index in range(compared):
+        rec, act = recorded[index], actual[index]
+        if rec["cycle"] != act["cycle"]:
+            return DivergenceReport(
+                False, index,
+                detail="entry %d cycle mismatch: recorded %d, actual "
+                       "%d (different checkpoint cadence?)"
+                       % (index, rec["cycle"], act["cycle"]),
+                recorded_entries=len(recorded),
+                actual_entries=len(actual))
+        if rec["digest"] != act["digest"]:
+            paths = diff_section_digests(rec.get("sections", {}),
+                                         act.get("sections", {}))
+            return DivergenceReport(
+                False, index,
+                first_divergence={
+                    "index": index,
+                    "cycle": rec["cycle"],
+                    "recorded_digest": rec["digest"],
+                    "actual_digest": act["digest"],
+                    "paths": paths,
+                },
+                recorded_entries=len(recorded),
+                actual_entries=len(actual))
+    if len(recorded) != len(actual):
+        return DivergenceReport(
+            False, compared,
+            detail="stream lengths differ: recorded %d, actual %d "
+                   "entries" % (len(recorded), len(actual)),
+            recorded_entries=len(recorded),
+            actual_entries=len(actual))
+    return DivergenceReport(True, compared,
+                            recorded_entries=len(recorded),
+                            actual_entries=len(actual))
+
+
+def verify_digests(spec, digests, wall_clock_budget=None):
+    """Re-execute *spec* and verify it against a recorded stream.
+
+    *digests* is the ``outcome.digests`` dict of the recorded run
+    (``interval_cycles`` + ``entries``).  Returns a
+    :class:`DivergenceReport`.
+    """
+    plan = CheckpointPlan(
+        interval_cycles=digests.get("interval_cycles", 0))
+    _, actual = execute(spec, wall_clock_budget=wall_clock_budget,
+                        checkpoint=plan)
+    return compare_streams(digests["entries"],
+                           actual.digests["entries"])

@@ -1,0 +1,40 @@
+"""Deterministic checkpoint/restore with a state-digest oracle.
+
+``repro.state`` captures the full simulation state — kernel scheduler,
+AHB components, power accounting, workload RNGs — as a versioned,
+content-addressed snapshot whose canonical SHA-256 **digest** is a
+bit-exactness oracle: two simulations are in the same state iff their
+digests match.  See docs/RESILIENCE.md §7.
+"""
+
+from .atomic import atomic_write_json
+from .diff import MISSING, diff_section_digests, diff_trees
+from .rng import load_rng_state, rng_state
+from .runner import CheckpointPlan, resume_latest, run_with_checkpoints
+from .snapshot import (
+    FORMAT,
+    Snapshot,
+    StateFormatError,
+    canonical_json,
+    digest_of,
+)
+from .store import STREAM_NAME, CheckpointStore
+
+__all__ = [
+    "FORMAT",
+    "MISSING",
+    "STREAM_NAME",
+    "CheckpointPlan",
+    "CheckpointStore",
+    "Snapshot",
+    "StateFormatError",
+    "atomic_write_json",
+    "canonical_json",
+    "diff_section_digests",
+    "diff_trees",
+    "digest_of",
+    "load_rng_state",
+    "resume_latest",
+    "rng_state",
+    "run_with_checkpoints",
+]

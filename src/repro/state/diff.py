@@ -1,0 +1,54 @@
+"""State-tree comparison for divergence reports.
+
+When two digests disagree the interesting question is *where*: which
+state paths differ.  :func:`diff_trees` walks two snapshot trees in
+parallel and returns dotted leaf paths with both values, which the
+replay divergence report attaches to the first divergent interval.
+"""
+
+from __future__ import annotations
+
+#: Sentinel for "path absent on this side".
+MISSING = "<missing>"
+
+
+def diff_trees(a, b, limit=50):
+    """Dotted paths where *a* and *b* disagree.
+
+    Returns a list of ``(path, a_value, b_value)`` tuples, depth-first
+    in sorted key order, truncated to *limit* entries (a diverged
+    simulation differs almost everywhere downstream of the root cause;
+    the first paths are the informative ones).
+    """
+    out = []
+    _walk(a, b, "", out, limit)
+    return out
+
+
+def _walk(a, b, path, out, limit):
+    if len(out) >= limit:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=str):
+            child = "%s.%s" % (path, key) if path else str(key)
+            _walk(a.get(key, MISSING), b.get(key, MISSING),
+                  child, out, limit)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append((path + ".<len>" if path else "<len>",
+                        len(a), len(b)))
+            if len(out) >= limit:
+                return
+        for index in range(min(len(a), len(b))):
+            child = "%s[%d]" % (path, index)
+            _walk(a[index], b[index], child, out, limit)
+        return
+    if a != b:
+        out.append((path or "<root>", a, b))
+
+
+def diff_section_digests(a, b):
+    """State paths whose per-section digests differ (sorted)."""
+    return sorted(path for path in set(a) | set(b)
+                  if a.get(path) != b.get(path))

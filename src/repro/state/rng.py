@@ -1,0 +1,23 @@
+"""JSON-able ``random.Random`` state capture.
+
+``Random.getstate()`` returns ``(version, tuple_of_ints, gauss_next)``;
+the inner tuple must go through JSON as a list and come back as a
+tuple.  Every RNG-bearing component (workload sources, fault injector,
+babbling master, fuzz engine) uses these two helpers so the encoding
+is identical everywhere.
+"""
+
+from __future__ import annotations
+
+
+def rng_state(rng):
+    """JSON-able form of *rng*'s ``getstate()``."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def load_rng_state(rng, state):
+    """Restore *rng* from :func:`rng_state` output."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+    return rng

@@ -21,6 +21,7 @@ import random
 from ..amba.master import TrafficSource
 from ..amba.transactions import AhbTransaction
 from ..amba.types import HBURST, HSIZE, size_bytes
+from ..state.rng import load_rng_state, rng_state
 
 
 class BoundedSource(TrafficSource):
@@ -46,6 +47,13 @@ class BoundedSource(TrafficSource):
 
     def _generate(self, now):  # pragma: no cover - interface
         raise NotImplementedError
+
+    def state_dict(self):
+        return {"rng": rng_state(self.rng), "issued": self.issued}
+
+    def load_state_dict(self, state):
+        load_rng_state(self.rng, state["rng"])
+        self.issued = state["issued"]
 
 
 class PaperWriteReadSource(BoundedSource):
@@ -116,6 +124,22 @@ class PaperWriteReadSource(BoundedSource):
             self._new_sequence()
         return self._pending.pop(0)
 
+    def state_dict(self):
+        from ..amba.transactions import txn_state
+        state = super().state_dict()
+        state["region"] = list(self._region)
+        state["pending"] = [txn_state(txn) for txn in self._pending]
+        state["pairs_generated"] = self.pairs_generated
+        return state
+
+    def load_state_dict(self, state):
+        from ..amba.transactions import txn_from_state
+        super().load_state_dict(state)
+        self._region = tuple(state["region"])
+        self._pending = [txn_from_state(txn)
+                         for txn in state["pending"]]
+        self.pairs_generated = state["pairs_generated"]
+
 
 class RandomSource(BoundedSource):
     """Independent uniform random single transfers (50 % writes)."""
@@ -176,6 +200,15 @@ class DmaBurstSource(BoundedSource):
         return AhbTransaction(False, address, hburst=self.burst,
                               hsize=self.hsize, idle_cycles_before=idle)
 
+    def state_dict(self):
+        state = super().state_dict()
+        state["write_next"] = self._write_next
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._write_next = state["write_next"]
+
 
 class CpuLikeSource(BoundedSource):
     """Read-dominated traffic with spatial locality.
@@ -218,6 +251,17 @@ class CpuLikeSource(BoundedSource):
                               hsize=self.hsize,
                               idle_cycles_before=idle)
 
+    def state_dict(self):
+        state = super().state_dict()
+        state["cursor"] = self._cursor
+        state["region"] = list(self._region)
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._cursor = state["cursor"]
+        self._region = tuple(state["region"])
+
 
 class ReplaySource(BoundedSource):
     """Replays an explicit list of transactions (trace replay)."""
@@ -230,3 +274,16 @@ class ReplaySource(BoundedSource):
         if not self._transactions:
             return None
         return self._transactions.pop(0)
+
+    def state_dict(self):
+        from ..amba.transactions import txn_state
+        state = super().state_dict()
+        state["transactions"] = [txn_state(txn)
+                                 for txn in self._transactions]
+        return state
+
+    def load_state_dict(self, state):
+        from ..amba.transactions import txn_from_state
+        super().load_state_dict(state)
+        self._transactions = [txn_from_state(txn)
+                              for txn in state["transactions"]]

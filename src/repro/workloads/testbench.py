@@ -20,6 +20,7 @@ from ..amba import (
     DefaultMaster,
     MemorySlave,
 )
+from ..amba.transactions import TxnIdCounterState
 from ..kernel import Clock, MHz, Simulator
 from ..protocol import ComplianceEngine
 from ..power import (
@@ -182,6 +183,58 @@ class AhbSystem:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.instrument(self)
+
+        self._register_state_providers()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _register_state_providers(self):
+        """Register every stateful component with the kernel.
+
+        Providers are restored in registration order; the transaction
+        id counter goes last because restoring masters and sources
+        constructs transactions (consuming counter ids) before the
+        counter itself is overwritten with the captured value.
+        """
+        sim = self.sim
+        sim.register_state("clk", self.clk)
+        sim.register_state("bus.arbiter", self.bus.arbiter)
+        sim.register_state("bus.s2m_mux", self.bus.s2m_mux)
+        for index, master in enumerate(self.masters):
+            sim.register_state("master%d" % index, master)
+            source = master.source
+            if source is not None and hasattr(source, "state_dict"):
+                sim.register_state("master%d.source" % index, source)
+        sim.register_state("default_master", self.default_master)
+        for index, slave in enumerate(self.slaves):
+            sim.register_state("slave%d" % index, slave)
+        if self.checker is not None:
+            sim.register_state("checker", self.checker)
+        if self.watchdog is not None:
+            sim.register_state("watchdog", self.watchdog)
+        if self.monitor is not None:
+            sim.register_state("power_monitor", self.monitor)
+        sim.register_state("txn_ids", TxnIdCounterState())
+
+    def snapshot(self):
+        """Capture the system state as a :class:`repro.state.Snapshot`.
+
+        Must be called at a quiescent point (after :meth:`run` has
+        returned).  Power *traces* and telemetry sinks are append-only
+        history and are not part of the captured state.
+        """
+        from ..state import Snapshot
+        return Snapshot(
+            self.sim.snapshot(),
+            meta={"cycle": self.clk.cycles, "time_ps": self.sim.now},
+        )
+
+    def restore(self, snapshot):
+        """Restore a :meth:`snapshot` (or a raw state tree); the system
+        must have been elaborated identically.  Returns self."""
+        tree = getattr(snapshot, "tree", snapshot)
+        self.sim.restore(tree)
+        return self
 
     # -- execution ------------------------------------------------------
 

@@ -1,0 +1,152 @@
+"""Shared scenario-prefix warm-starts for fuzz candidates.
+
+The soundness contract: warm-started executions are **bit-identical**
+to cold ones — same outcome fingerprint, same coverage keys, same
+corpus evolution — because a prefix checkpoint is only shared between
+specs whose every prefix-shaping input matches, and only restored
+strictly before the consumer's earliest signal-fault window opens."""
+
+import json
+import os
+
+from repro.fuzz import FuzzConfig, run_fuzz_campaign
+from repro.fuzz.coverage import CoverageProbe
+from repro.fuzz.warmstart import (
+    MIN_WARM_CYCLES,
+    WarmStartCache,
+    prefix_horizon_ps,
+    prefix_signature,
+)
+from repro.kernel import us
+from repro.replay import FaultEntry, campaign_spec, execute
+
+SCENARIO = "portable-audio-player"
+
+
+def spec_with_fault(duration_us=10.0, bit=3, start_ps=6_000_000,
+                    probability=0.4, seed=3, fault="none",
+                    scenario=SCENARIO):
+    spec = campaign_spec(scenario, fault, seed=seed,
+                         duration_us=duration_us)
+    spec.faults = list(spec.faults) + [FaultEntry.signal_fault(
+        "bit-flip", "hrdata", bit=bit, start_ps=start_ps,
+        end_ps=start_ps + 2_000_000, probability=probability)]
+    return spec
+
+
+class TestPrefixSignature:
+    def test_duration_and_fault_window_siblings_share(self):
+        # exactly what duration_jitter / fault_shift mutators produce
+        a = spec_with_fault(duration_us=10.0, bit=3,
+                            start_ps=6_000_000, probability=0.4)
+        b = spec_with_fault(duration_us=14.0, bit=5,
+                            start_ps=8_000_000, probability=0.1)
+        assert prefix_signature(a) == prefix_signature(b)
+
+    def test_prefix_shaping_inputs_split_the_signature(self):
+        base = spec_with_fault()
+        assert prefix_signature(spec_with_fault(seed=4)) \
+            != prefix_signature(base)
+        assert prefix_signature(
+            spec_with_fault(scenario="wireless-modem")) \
+            != prefix_signature(base)
+        # behavioural faults act from elaboration: never shareable
+        assert prefix_signature(spec_with_fault(fault="always-retry")) \
+            != prefix_signature(base)
+        # the injector's checkpoint state is positional in fault count
+        extra = spec_with_fault()
+        extra.faults = extra.faults + [FaultEntry.signal_fault(
+            "glitch", "haddr", value=1, start_ps=9_000_000)]
+        assert prefix_signature(extra) != prefix_signature(base)
+
+    def test_horizon_is_earliest_signal_fault_window(self):
+        spec = spec_with_fault(start_ps=6_000_000)
+        assert prefix_horizon_ps(spec, us(10)) == 6_000_000
+        clean = campaign_spec(SCENARIO, "none", duration_us=10.0)
+        assert prefix_horizon_ps(clean, us(10)) == us(10)
+
+    def test_plan_is_none_when_fault_opens_at_time_zero(self):
+        cache = WarmStartCache("/nonexistent")
+        assert cache.plan(spec_with_fault(start_ps=0)) is None
+        plan = cache.plan(spec_with_fault(start_ps=6_000_000))
+        assert plan["horizon_ps"] == 6_000_000
+
+
+class TestWarmExecution:
+    def run(self, spec, warm=None):
+        probe = CoverageProbe()
+        system, outcome = execute(spec, instrument=probe.install,
+                                  warm_start=warm)
+        assert outcome.outcome != "crashed", outcome.detail
+        return (outcome.fingerprint(),
+                probe.coverage_keys(system, outcome))
+
+    def test_producer_and_consumers_match_cold_runs(self, tmp_path):
+        cache = WarmStartCache(str(tmp_path))
+        spec = spec_with_fault(duration_us=10.0, bit=3,
+                               start_ps=6_000_000)
+        sibling = spec_with_fault(duration_us=12.0, bit=5,
+                                  start_ps=7_000_000, probability=0.2)
+        cold_spec = self.run(spec)
+        cold_sibling = self.run(sibling)
+
+        producer = self.run(spec, cache.plan(spec))
+        store = cache.store_for(spec)
+        cycles = store.checkpoint_cycles()
+        assert len(cycles) == 1 and cycles[0] >= MIN_WARM_CYCLES
+        assert store.digest_stream() == []  # shared: no per-run stream
+
+        consumer = self.run(spec, cache.plan(spec))
+        consumer_sibling = self.run(sibling, cache.plan(sibling))
+        assert producer == cold_spec
+        assert consumer == cold_spec
+        assert consumer_sibling == cold_sibling
+
+    def test_checkpoint_past_horizon_is_not_restored(self, tmp_path):
+        cache = WarmStartCache(str(tmp_path))
+        spec = spec_with_fault(duration_us=10.0, start_ps=6_000_000)
+        self.run(spec, cache.plan(spec))  # leaves a 3 us checkpoint
+        early = spec_with_fault(duration_us=10.0, start_ps=1_000_000)
+        assert prefix_signature(early) == prefix_signature(spec)
+        # its own horizon (1 us) predates the cached 3 us checkpoint:
+        # it must cold-start, not restore state from inside its window
+        assert self.run(early, cache.plan(early)) == self.run(early)
+
+    def test_probe_state_round_trips_through_snapshot(self):
+        spec = campaign_spec(SCENARIO, "none", seed=1, duration_us=2.0)
+        probe = CoverageProbe()
+        system, _ = execute(spec, instrument=probe.install)
+        state = json.loads(json.dumps(probe.state_dict()))
+        clone_probe = CoverageProbe()
+        clone, _ = execute(spec, instrument=clone_probe.install)
+        clone_probe.load_state_dict(state)
+        assert clone_probe.state_dict() == probe.state_dict()
+        assert clone_probe.keys == probe.keys
+
+
+class TestWarmCampaign:
+    def campaign(self, root, warm, jobs=1):
+        config = FuzzConfig(budget=16, seed=11, jobs=jobs,
+                            batch_size=4, duration_us=5.0,
+                            shrink=False, warm_start=warm)
+        return run_fuzz_campaign(root, config)
+
+    def tree(self, root):
+        out = {}
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "warmstart"]
+            for name in sorted(filenames):
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as fh:
+                    out[os.path.relpath(path, root)] = fh.read()
+        return out
+
+    def test_warm_campaign_is_byte_identical_to_cold(self, tmp_path):
+        cold = str(tmp_path / "cold")
+        warm = str(tmp_path / "warm")
+        report_cold = self.campaign(cold, warm=False)
+        report_warm = self.campaign(warm, warm=True)
+        assert report_warm.executions == report_cold.executions
+        assert self.tree(warm) == self.tree(cold)
+        assert os.path.isdir(os.path.join(warm, "warmstart"))
+        assert not os.path.isdir(os.path.join(cold, "warmstart"))

@@ -1,0 +1,69 @@
+"""Property-based exactness: checkpoint/restore is digest-identical to
+straight execution across randomly drawn scenarios, fault schedules
+and split points.
+
+The single property under test (ISSUE 8 acceptance): for any run the
+campaign can encode, executing the first M microseconds, snapshotting,
+restoring into a fresh elaboration and executing N more is
+bit-identical — same canonical state digest, same outcome fingerprint —
+to executing M + N microseconds straight through."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.replay import FaultEntry, campaign_spec, execute  # noqa: E402
+from repro.state import CheckpointPlan, CheckpointStore  # noqa: E402
+
+SCENARIOS = ("portable-audio-player", "wireless-modem",
+             "portable-videogame")
+BEHAVIOURAL = ("none", "always-retry", "hung-slave")
+
+
+@st.composite
+def run_specs(draw):
+    spec = campaign_spec(
+        draw(st.sampled_from(SCENARIOS)),
+        fault=draw(st.sampled_from(BEHAVIOURAL)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        duration_us=draw(st.sampled_from((3.0, 4.0, 5.0))),
+    )
+    if draw(st.booleans()):  # optional mid-run signal corruption
+        start = draw(st.integers(min_value=0, max_value=3)) * 1_000_000
+        spec.faults = list(spec.faults) + [FaultEntry.signal_fault(
+            draw(st.sampled_from(("bit-flip", "stuck-at", "glitch"))),
+            draw(st.sampled_from(("hrdata", "haddr", "htrans"))),
+            bit=draw(st.integers(min_value=0, max_value=7)),
+            value=draw(st.integers(min_value=0, max_value=255)),
+            start_ps=start, end_ps=start + 2_000_000,
+            probability=draw(st.sampled_from((0.1, 0.5, 1.0))),
+        )]
+    return spec
+
+
+class TestCheckpointProperty:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow],
+              derandomize=True)
+    @given(spec=run_specs(),
+           split_us=st.sampled_from((1.0, 2.0)),
+           interval=st.sampled_from((100, 250)))
+    def test_restore_and_run_equals_straight_run(
+            self, tmp_path_factory, spec, split_us, interval):
+        tmp = tmp_path_factory.mktemp("hyp")
+        plan = CheckpointPlan(interval_cycles=interval)
+        _, straight = execute(spec, checkpoint=plan)
+
+        store = CheckpointStore(str(tmp / "ck"))
+        execute(spec.replace(duration_us=split_us),
+                checkpoint=CheckpointPlan(interval, store))
+        _, resumed = execute(
+            spec, checkpoint=CheckpointPlan(interval, store),
+            resume=True)
+
+        assert resumed.digests["entries"][-1]["digest"] \
+            == straight.digests["entries"][-1]["digest"]
+        assert resumed.fingerprint() == straight.fingerprint()

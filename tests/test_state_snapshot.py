@@ -1,0 +1,217 @@
+"""Unit tests for the ``repro.state`` building blocks: atomic JSON
+writes, versioned content-addressed snapshots, the on-disk checkpoint
+store with its crash-tolerant digest stream, and tree diffing."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.state import (
+    FORMAT,
+    MISSING,
+    CheckpointStore,
+    Snapshot,
+    StateFormatError,
+    atomic_write_json,
+    canonical_json,
+    diff_section_digests,
+    diff_trees,
+    digest_of,
+)
+
+
+class TestAtomicWrite:
+    def test_round_trip_and_trailing_newline(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        atomic_write_json(path, {"b": 2, "a": 1})
+        raw = open(path).read()
+        assert raw.endswith("\n")
+        assert json.loads(raw) == {"a": 1, "b": 2}
+        # sorted keys: byte-stable output for identical data
+        atomic_write_json(path, {"a": 1, "b": 2})
+        assert open(path).read() == raw
+
+    def test_failed_write_preserves_old_file_and_leaves_no_tmp(
+            self, tmp_path):
+        path = str(tmp_path / "a.json")
+        atomic_write_json(path, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.load(open(path)) == {"ok": True}
+        assert os.listdir(str(tmp_path)) == ["a.json"]
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "er" / "a.json")
+        atomic_write_json(path, [1, 2])
+        assert json.load(open(path)) == [1, 2]
+
+    @pytest.mark.skipif(os.name != "posix",
+                        reason="SIGKILLs a child process")
+    def test_sigkill_mid_write_never_leaves_torn_file(self, tmp_path):
+        """Satellite: a writer SIGKILLed at a random moment must leave
+        either the previous complete file or the new complete one —
+        never a truncated tail that poisons the next ``--resume``."""
+        target = str(tmp_path / "state.json")
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = (
+            "import itertools, sys\n"
+            "from repro.state import atomic_write_json\n"
+            "for i in itertools.count():\n"
+            "    atomic_write_json(%r, {'gen': i, 'pad': 'x' * 4096})\n"
+            "    if i == 0:\n"
+            "        print('first', flush=True)\n" % target
+        )
+        for _ in range(3):
+            proc = subprocess.Popen(
+                [sys.executable, "-c", child], env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+            try:
+                assert proc.stdout.readline().strip() == b"first"
+                time.sleep(0.05)  # land the kill mid-write-loop
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+            data = json.load(open(target))  # parses ⇒ not torn
+            assert data["pad"] == "x" * 4096
+            assert data["gen"] >= 0
+
+
+class TestSnapshot:
+    def tree(self):
+        return {"kernel": {"now": 5, "signals": {"clk": 1}},
+                "components": {"m0": {"issued": 3}}}
+
+    def test_digest_is_key_order_invariant_and_meta_free(self):
+        a = Snapshot(self.tree(), meta={"cycle": 1})
+        b = Snapshot({"components": {"m0": {"issued": 3}},
+                      "kernel": {"signals": {"clk": 1}, "now": 5}},
+                     meta={"cycle": 999, "label": "other"})
+        assert a.digest == b.digest
+        assert a.digest == digest_of(self.tree())
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_round_trip_preserves_digest_and_meta(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        snap = Snapshot(self.tree(), meta={"cycle": 7, "time_ps": 70})
+        snap.save(path)
+        loaded = Snapshot.load(path)
+        assert loaded.digest == snap.digest
+        assert loaded.cycle == 7
+        assert loaded.time_ps == 70
+
+    def test_wrong_major_version_is_refused(self):
+        data = Snapshot(self.tree()).to_dict()
+        data["format"] = "repro-state/2"
+        with pytest.raises(StateFormatError, match="not a %s" % FORMAT):
+            Snapshot.from_dict(data)
+
+    def test_corrupt_content_fails_digest_verification(self):
+        data = Snapshot(self.tree()).to_dict()
+        data["state"]["kernel"]["now"] = 6  # bit-rot after hashing
+        with pytest.raises(StateFormatError, match="digest mismatch"):
+            Snapshot.from_dict(data)
+
+    def test_section_digests_name_state_paths(self):
+        sections = Snapshot(self.tree()).section_digests()
+        assert set(sections) == {"kernel", "kernel.signals",
+                                 "components.m0"}
+        other = self.tree()
+        other["components"]["m0"]["issued"] = 4
+        diff = diff_section_digests(
+            sections, Snapshot(other).section_digests())
+        assert diff == ["components.m0"]
+
+
+def _snap(cycle, payload):
+    return Snapshot({"kernel": {"now": cycle, "signals": {}},
+                     "components": {"p": payload}},
+                    meta={"cycle": cycle, "time_ps": cycle * 10})
+
+
+class TestCheckpointStore:
+    def test_put_latest_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.put(_snap(100, {"v": 1}))
+        store.put(_snap(200, {"v": 2}))
+        latest = store.latest()
+        assert latest.cycle == 200
+        assert store.checkpoint_cycles() == [100, 200]
+        assert [e["cycle"] for e in store.digest_stream()] == [100, 200]
+
+    def test_keep_prunes_files_never_the_stream(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"), keep=2)
+        for cycle in (100, 200, 300, 400):
+            store.put(_snap(cycle, {"v": cycle}))
+        assert store.checkpoint_cycles() == [300, 400]
+        assert [e["cycle"] for e in store.digest_stream()] \
+            == [100, 200, 300, 400]
+
+    def test_corrupt_newest_checkpoint_is_skipped(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.put(_snap(100, {"v": 1}))
+        path = store.put(_snap(200, {"v": 2}))
+        with open(path, "w") as fh:
+            fh.write('{"format": "repro-state/1", "truncated')
+        assert store.latest().cycle == 100
+
+    def test_torn_stream_tail_is_dropped_interior_raises(
+            self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.put(_snap(100, {"v": 1}))
+        store.put(_snap(200, {"v": 2}))
+        with open(store.stream_path, "a") as fh:
+            fh.write('{"cycle": 300, "digest"')  # crash mid-append
+        assert [e["cycle"] for e in store.digest_stream()] == [100, 200]
+        lines = open(store.stream_path).read().splitlines()
+        lines[0] = '{"torn": '
+        with open(store.stream_path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(StateFormatError, match="corrupt digest"):
+            store.digest_stream()
+
+    def test_truncate_stream_after_drops_resumed_intervals(
+            self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        for cycle in (100, 200, 300):
+            store.put(_snap(cycle, {"v": cycle}))
+        kept = store.truncate_stream_after(200)
+        assert [e["cycle"] for e in kept] == [100, 200]
+        assert [e["cycle"] for e in store.digest_stream()] == [100, 200]
+
+    def test_empty_store_has_no_latest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "nowhere"))
+        assert store.latest() is None
+        assert store.digest_stream() == []
+
+
+class TestDiffTrees:
+    def test_names_leaf_paths_depth_first(self):
+        a = {"kernel": {"now": 5}, "components": {"m0": {"v": 1}}}
+        b = {"kernel": {"now": 6}, "components": {"m0": {"v": 2}}}
+        assert diff_trees(a, b) == [
+            ("components.m0.v", 1, 2), ("kernel.now", 5, 6)]
+
+    def test_missing_keys_and_list_lengths(self):
+        a = {"c": {"m0": {"v": 1}}, "q": [1, 2, 3]}
+        b = {"c": {}, "q": [1, 9]}
+        diff = dict((path, (x, y)) for path, x, y in diff_trees(a, b))
+        assert diff["c.m0"] == ({"v": 1}, MISSING)
+        assert diff["q.<len>"] == (3, 2)
+        assert diff["q[1]"] == (2, 9)
+
+    def test_limit_truncates(self):
+        a = {str(i): i for i in range(100)}
+        b = {str(i): i + 1 for i in range(100)}
+        assert len(diff_trees(a, b, limit=10)) == 10
