@@ -96,8 +96,9 @@ class AhbTransaction:
         self.id = _take_txn_id()
         self.write = bool(write)
         self.address = int(address)
-        self.hsize = HSIZE(hsize)
-        self.hburst = HBURST(hburst)
+        self.hsize = hsize if type(hsize) is HSIZE else HSIZE(hsize)
+        self.hburst = (hburst if type(hburst) is HBURST
+                       else HBURST(hburst))
         self.locked = bool(locked)
         self.idle_cycles_before = int(idle_cycles_before)
         self.busy_between_beats = int(busy_between_beats)

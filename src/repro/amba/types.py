@@ -80,15 +80,18 @@ def burst_beats(hburst):
     ``HBURST.INCR`` (undefined length) returns ``None``; the master
     decides when the burst ends.
     """
-    hburst = HBURST(hburst)
-    if hburst == HBURST.INCR:
+    if type(hburst) is not HBURST:
+        hburst = HBURST(hburst)
+    if hburst is HBURST.INCR:
         return None
     return _FIXED_BEATS[hburst]
 
 
 def is_wrapping(hburst):
     """True when *hburst* is one of the wrapping burst kinds."""
-    return HBURST(hburst) in _WRAPPING
+    if type(hburst) is not HBURST:
+        hburst = HBURST(hburst)
+    return hburst in _WRAPPING
 
 
 def aligned(address, hsize):
@@ -106,9 +109,10 @@ def next_burst_address(address, hburst, hsize):
     boundary of ``beats * size_bytes`` (spec §3.5.4): a WRAP4 of word
     transfers at 0x38 proceeds 0x38, 0x3C, 0x30, 0x34.
     """
-    hburst = HBURST(hburst)
+    if type(hburst) is not HBURST:
+        hburst = HBURST(hburst)
     step = size_bytes(hsize)
-    if not is_wrapping(hburst):
+    if hburst not in _WRAPPING:
         return address + step
     span = _FIXED_BEATS[hburst] * step
     boundary = (address // span) * span
@@ -120,7 +124,8 @@ def burst_addresses(start, hburst, hsize, beats=None):
 
     ``beats`` is required (and only allowed) for ``HBURST.INCR``.
     """
-    hburst = HBURST(hburst)
+    if type(hburst) is not HBURST:
+        hburst = HBURST(hburst)
     fixed = burst_beats(hburst)
     if fixed is None:
         if beats is None:
@@ -138,6 +143,10 @@ def burst_addresses(start, hburst, hsize, beats=None):
             "start address %#x is not aligned for %s"
             % (start, HSIZE(hsize).name)
         )
+    if hburst not in _WRAPPING:
+        # Fast path: incrementing bursts are a fixed-stride range.
+        step = size_bytes(hsize)
+        return [start + index * step for index in range(beats)]
     addresses = [start]
     for _ in range(beats - 1):
         addresses.append(next_burst_address(addresses[-1], hburst, hsize))

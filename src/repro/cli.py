@@ -99,18 +99,37 @@ def _cmd_scenario(args):
     spec = RunSpec(
         args.name, seed=args.seed, duration_us=args.duration_us,
         retry_limit=None, retry_backoff=0, watchdog=False,
-        check_protocol=args.check_protocol,
+        check_protocol=args.check_protocol, tier=args.tier,
     )
     plan = None
     if args.digest_interval:
-        from .state import CheckpointPlan
-        plan = CheckpointPlan(interval_cycles=args.digest_interval)
+        if args.tier == "tlm":
+            print("--digest-interval is cycle-tier only; ignored for "
+                  "--tier tlm", file=sys.stderr)
+        else:
+            from .state import CheckpointPlan
+            plan = CheckpointPlan(interval_cycles=args.digest_interval)
     system, outcome = execute(spec, checkpoint=plan)
     if outcome.outcome == "crashed":
         print(outcome.detail, file=sys.stderr)
         return 1
-    system.assert_protocol_clean()
-    summary = run_summary(system)
+    if args.tier == "tlm":
+        # run_summary reads signal-level state; the TLM tier reports
+        # its own transaction-level figures.
+        summary = {
+            "scenario": args.name,
+            "tier": "tlm",
+            "bus_cycles": system.clk.cycles,
+            "transactions_completed": system.transactions_completed(),
+            "transactions_failed": system.transactions_failed(),
+            "handovers": system.handover_count,
+            "mean_latency_cycles": system.mean_latency_cycles(),
+            "total_energy_j": system.ledger.total_energy,
+            "overhead_energy_j": system.ledger.overhead_energy,
+        }
+    else:
+        system.assert_protocol_clean()
+        summary = run_summary(system)
     print(_json.dumps(summary, indent=2, sort_keys=True))
     if args.record:
         trace = ReplayTrace()
@@ -156,6 +175,7 @@ def _cmd_faults(args):
         retry_budget=args.retry_budget,
         recover=not args.no_recover,
         check_protocol=args.check_protocol,
+        tier=args.tier,
         jobs=args.jobs, timeout=args.timeout,
         journal=args.journal, resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
@@ -206,6 +226,51 @@ def _cmd_faults(args):
                            for run in bad)),
               file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_tlm(args):
+    import json as _json
+
+    from .tlm import (
+        CalibrationTable,
+        calibrate,
+        load_default_table,
+        validate_table,
+    )
+    if args.tlm_command == "calibrate":
+        kwargs = {}
+        if args.table_version is not None:
+            kwargs["version"] = args.table_version
+        if args.seed:
+            kwargs["seeds"] = tuple(args.seed)
+        table = calibrate(
+            scenarios=args.scenario,
+            duration_us=args.duration_us, **kwargs,
+        )
+        table.save(args.out)
+        print("wrote %s" % args.out)
+        print("digest: %s" % table.digest())
+        print("scenarios: %s"
+              % ", ".join(table.provenance["scenarios"]))
+        return 0
+    # validate
+    table = (CalibrationTable.load(args.table) if args.table
+             else load_default_table())
+    bound = dict(table.error_bound)
+    if args.energy_bound is not None:
+        bound["energy_pct"] = args.energy_bound
+    if args.latency_bound is not None:
+        bound["latency_cycles"] = args.latency_bound
+    report = validate_table(
+        table, scenarios=args.scenario, seed=args.seed,
+        duration_us=args.duration_us, bound=bound,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print("wrote %s" % args.json, file=sys.stderr)
+    return 0 if report.passed else 1
 
 
 def _cmd_fuzz(args):
@@ -429,6 +494,10 @@ def build_parser():
         help="record a state digest every CYCLES bus cycles into the "
              "replay trace; 'repro replay' then verifies full state "
              "equivalence at every interval (0 disables)")
+    scenario_parser.add_argument(
+        "--tier", choices=("cycle", "tlm"), default="cycle",
+        help="execution tier: signal-accurate kernel simulation "
+             "(cycle) or the calibrated transaction-level model (tlm)")
     scenario_parser.set_defaults(fn=_cmd_scenario)
 
     faults_parser = sub.add_parser(
@@ -470,6 +539,11 @@ def build_parser():
         default="record",
         help="compliance-engine severity during campaign runs")
     faults_parser.add_argument(
+        "--tier", choices=("cycle", "tlm"), default="cycle",
+        help="execution tier for every campaign run (seeds derive "
+             "identically on both, so a tlm survey can be confirmed "
+             "cycle-accurately run for run)")
+    faults_parser.add_argument(
         "--record", metavar="PATH",
         help="write a replay trace of every campaign run to PATH")
     faults_parser.add_argument("--json",
@@ -505,6 +579,61 @@ def build_parser():
         help="also print the merged campaign telemetry summary "
              "(throughput, outcome rates, energy totals)")
     faults_parser.set_defaults(fn=_cmd_faults)
+
+    tlm_parser = sub.add_parser(
+        "tlm",
+        help="transaction-level tier: calibrate or cross-validate "
+             "the energy/latency table")
+    tlm_sub = tlm_parser.add_subparsers(dest="tlm_command",
+                                        required=True)
+    tlm_cal = tlm_sub.add_parser(
+        "calibrate",
+        help="fit a calibration table from cycle-accurate reference "
+             "runs")
+    tlm_cal.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to calibrate on (repeatable; default: every "
+             "named scenario)")
+    tlm_cal.add_argument("--seed", type=int, action="append",
+                         default=None,
+                         help="calibration seed (repeatable; default "
+                              "1 3 4 — keep the held-out validation "
+                              "seed 2 out of this set)")
+    tlm_cal.add_argument("--duration-us", type=float, default=200.0)
+    tlm_cal.add_argument("--out", required=True, metavar="PATH",
+                         help="write the fitted table JSON to PATH "
+                              "(the committed artefact lives at "
+                              "src/repro/tlm/tables/default.json)")
+    tlm_cal.add_argument("--table-version", type=int, default=None,
+                         help="table version stamp (default: the "
+                              "current TABLE_VERSION)")
+    tlm_cal.set_defaults(fn=_cmd_tlm)
+
+    tlm_val = tlm_sub.add_parser(
+        "validate",
+        help="replay scenarios on both tiers and gate on the table's "
+             "declared error bound (exit 1 when exceeded)")
+    tlm_val.add_argument(
+        "--table", metavar="PATH", default=None,
+        help="table to validate (default: the committed table)")
+    tlm_val.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to cross-validate (repeatable; default: the "
+             "table's calibration scenarios)")
+    tlm_val.add_argument("--seed", type=int, default=2,
+                         help="held-out validation seed")
+    tlm_val.add_argument("--duration-us", type=float, default=40.0)
+    tlm_val.add_argument("--energy-bound", type=float, default=None,
+                         metavar="PCT",
+                         help="override the table's total-energy "
+                              "error bound (percent)")
+    tlm_val.add_argument("--latency-bound", type=float, default=None,
+                         metavar="CYCLES",
+                         help="override the table's mean-latency "
+                              "error bound (bus cycles)")
+    tlm_val.add_argument("--json",
+                         help="write the validation report JSON")
+    tlm_val.set_defaults(fn=_cmd_tlm)
 
     replay_parser = sub.add_parser(
         "replay",

@@ -57,6 +57,15 @@ from .journal import CampaignJournal, JournalError, load_journal
 from .worker import execute_payload, worker_main
 
 
+def _normalize_spec(spec_dict):
+    """Round-trip a journalled spec dict through
+    :class:`~repro.replay.RunSpec` so additive schema fields (e.g.
+    ``tier``) take their defaults — a journal written before such a
+    field existed still resumes the same campaign."""
+    from ..replay import RunSpec  # deferred: replay imports faults
+    return RunSpec.from_dict(spec_dict).to_dict()
+
+
 class ExecutorConfig:
     """Knobs of the supervised executor.
 
@@ -282,7 +291,8 @@ class CampaignExecutor:
                     continue
                 recorded_spec = result.get("spec")
                 if recorded_spec is not None \
-                        and recorded_spec != run.spec.to_dict():
+                        and _normalize_spec(recorded_spec) \
+                        != run.spec.to_dict():
                     raise JournalError(
                         "journal %s records run %s with a different "
                         "RunSpec; refusing to resume a different "

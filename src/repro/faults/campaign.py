@@ -133,10 +133,12 @@ class FaultRunResult:
                  baseline_energy_per_txn=0.0, detail="",
                  traceback=None, spec=None, fingerprint=None,
                  attempts=1, wall_time_s=0.0, metrics=None,
-                 coverage=None):
+                 coverage=None, tier="cycle"):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
+        #: Execution tier the run used (``"cycle"`` or ``"tlm"``).
+        self.tier = tier
         self.completed = completed
         self.failed = failed
         self.aborted = aborted
@@ -192,6 +194,7 @@ class FaultRunResult:
         return {
             "scenario": self.scenario,
             "fault": self.fault,
+            "tier": self.tier,
             "outcome": self.outcome,
             "completed": self.completed,
             "failed": self.failed,
@@ -227,8 +230,8 @@ class FaultRunResult:
             "energy_per_txn_j": "energy_per_txn",
             "baseline_energy_per_txn_j": "baseline_energy_per_txn",
         }
-        known = ("scenario", "fault", "outcome", "completed", "failed",
-                 "aborted", "watchdog_events", "recoveries",
+        known = ("scenario", "fault", "tier", "outcome", "completed",
+                 "failed", "aborted", "watchdog_events", "recoveries",
                  "violations", "rules_tripped", "recovery_compliant",
                  "detail", "traceback", "spec", "fingerprint",
                  "attempts", "wall_time_s", "metrics", "coverage")
@@ -372,6 +375,8 @@ def result_from_execution(scenario, fault, system, outcome, spec=None,
     )
     return FaultRunResult(
         scenario=scenario, fault=fault, outcome=outcome.outcome,
+        tier=getattr(spec, "tier", "cycle") if spec is not None
+        else "cycle",
         completed=outcome.completed or 0, failed=outcome.failed or 0,
         aborted=outcome.aborted or 0,
         watchdog_events=outcome.watchdog_events or 0,
@@ -394,7 +399,7 @@ def enumerate_campaign(scenarios, faults, seed=1, duration_us=20.0,
                        slave_index=0, trigger_after=16, retry_limit=8,
                        retry_backoff=2, hready_timeout=16,
                        retry_budget=6, split_timeout=64, recover=True,
-                       check_protocol="record"):
+                       check_protocol="record", tier="cycle"):
     """Enumerate every campaign cell as a :class:`CampaignRun`.
 
     Each cell (the per-scenario fault-free baseline plus one run per
@@ -424,6 +429,7 @@ def enumerate_campaign(scenarios, faults, seed=1, duration_us=20.0,
                 hready_timeout=hready_timeout,
                 retry_budget=retry_budget, split_timeout=split_timeout,
                 recover=recover, check_protocol=check_protocol,
+                tier=tier,
             )
             runs.append(CampaignRun("%s/%s" % (scenario, fault),
                                     scenario, fault, spec))
@@ -437,9 +443,9 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                        trigger_after=16, retry_limit=8, retry_backoff=2,
                        hready_timeout=16, retry_budget=6,
                        split_timeout=64, recover=True,
-                       check_protocol="record", jobs=1, timeout=None,
-                       journal=None, resume=False, checkpoint_dir=None,
-                       checkpoint_interval=1000,
+                       check_protocol="record", tier="cycle", jobs=1,
+                       timeout=None, journal=None, resume=False,
+                       checkpoint_dir=None, checkpoint_interval=1000,
                        executor_config=None):
     """Run every (scenario, fault) combination and report.
 
@@ -461,6 +467,13 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         ``"record"``: each result reports which rules tripped and
         whether recovery stayed spec-compliant without aborting the
         campaign).
+    tier:
+        Execution tier for every run: ``"cycle"`` (signal-accurate
+        kernel simulation) or ``"tlm"`` (the calibrated
+        transaction-level model in :mod:`repro.tlm`).  Seeds derive
+        identically on both tiers, so the same campaign can be
+        surveyed fast at transaction level and confirmed
+        cycle-accurately.
     jobs, timeout, journal, resume:
         Supervised-executor knobs (see :mod:`repro.exec`): worker
         process count (1 = in-process serial), per-run wall-clock
@@ -488,7 +501,7 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         retry_limit=retry_limit, retry_backoff=retry_backoff,
         hready_timeout=hready_timeout, retry_budget=retry_budget,
         split_timeout=split_timeout, recover=recover,
-        check_protocol=check_protocol,
+        check_protocol=check_protocol, tier=tier,
     )
     config = executor_config
     if config is None:

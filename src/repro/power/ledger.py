@@ -91,6 +91,43 @@ class EnergyLedger:
         self.cycles += 1
         return cycle_total
 
+    def charge_bulk(self, instruction, count, block_energies,
+                    response=None):
+        """Account *count* identical cycles in one update.
+
+        Equivalent to calling :meth:`charge_cycle` *count* times with
+        the same arguments, but O(blocks) instead of O(count) — the
+        transaction-level tier charges whole mode runs through this
+        path.  Returns the total energy charged (joules).
+        """
+        if count < 0:
+            raise ValueError("negative cycle count %r" % count)
+        if count == 0:
+            return 0.0
+        cycle_total = 0.0
+        for block, energy in block_energies.items():
+            if energy < 0:
+                raise ValueError(
+                    "negative energy %r for block %r" % (energy, block)
+                )
+            self.block_energy[block] = (
+                self.block_energy.get(block, 0.0) + energy * count
+            )
+            cycle_total += energy
+        total = cycle_total * count
+        stats = self.instructions.get(instruction)
+        if stats is None:
+            stats = self.instructions[instruction] = InstructionStats()
+        stats.count += count
+        stats.energy += total
+        if response is not None:
+            self.response_energy[response] = (
+                self.response_energy.get(response, 0.0) + total
+            )
+        self.total_energy += total
+        self.cycles += count
+        return total
+
     # -- queries --------------------------------------------------------------
 
     def instruction_stats(self, instruction):

@@ -115,13 +115,20 @@ class RunSpec:
     __slots__ = ("scenario", "seed", "duration_us", "faults",
                  "retry_limit", "retry_backoff", "watchdog",
                  "watchdog_kwargs", "check_protocol", "protocol_kwargs",
-                 "injector_seed", "scenario_kwargs")
+                 "injector_seed", "scenario_kwargs", "tier")
+
+    #: Execution tiers a spec may name.
+    TIERS = ("cycle", "tlm")
 
     def __init__(self, scenario, seed=1, duration_us=20.0, faults=(),
                  retry_limit=8, retry_backoff=2, watchdog=True,
                  watchdog_kwargs=None, check_protocol="record",
                  protocol_kwargs=None, injector_seed=0,
-                 scenario_kwargs=None):
+                 scenario_kwargs=None, tier="cycle"):
+        if tier not in self.TIERS:
+            raise ValueError("unknown execution tier %r (expected %s)"
+                             % (tier, " or ".join(self.TIERS)))
+        self.tier = tier
         self.scenario = scenario
         self.seed = seed
         self.duration_us = duration_us
@@ -165,6 +172,7 @@ class RunSpec:
             "protocol_kwargs": dict(self.protocol_kwargs),
             "injector_seed": self.injector_seed,
             "scenario_kwargs": dict(self.scenario_kwargs),
+            "tier": self.tier,
         }
 
     @classmethod
@@ -343,6 +351,14 @@ def execute(spec, wall_clock_budget=None, instrument=None,
     already owns the run loop, and mixing the two would record digest
     streams with a skipped prefix.
     """
+    if spec.tier == "tlm":
+        # Transaction-level runs are cheap enough that re-execution is
+        # the recovery strategy: instrumentation, checkpoint plans and
+        # warm starts have no transaction-level equivalent and are
+        # deliberately ignored.  Run-level journal resume still works
+        # unchanged.
+        from ..tlm import execute_tlm
+        return execute_tlm(spec, wall_clock_budget=wall_clock_budget)
     system = None
     error_text = None
     error_traceback = None
@@ -442,7 +458,7 @@ def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,
                   slave_index=0, trigger_after=16, retry_limit=8,
                   retry_backoff=2, hready_timeout=16, retry_budget=6,
                   split_timeout=64, recover=True,
-                  check_protocol="record"):
+                  check_protocol="record", tier="cycle"):
     """The :class:`RunSpec` of one campaign run — same parameters and
     defaults as :func:`repro.faults.run_fault_campaign`, so a recorded
     campaign cell re-executes identically."""
@@ -461,6 +477,7 @@ def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,
             "recover": recover,
         },
         check_protocol=check_protocol,
+        tier=tier,
     )
 
 

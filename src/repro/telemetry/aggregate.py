@@ -42,6 +42,14 @@ def record_run_metrics(registry, result):
         labelnames=_RUN_LABELS + ("outcome",),
     ).labels(scenario=scenario, fault=fault,
              outcome=result.outcome).inc()
+    # Additive tier counter: the per-run label set above is part of
+    # the stable snapshot schema, so the execution tier is recorded as
+    # its own series instead of widening every existing one.
+    registry.counter(
+        "campaign_tier_runs_total", "Campaign runs by execution tier",
+        labelnames=_RUN_LABELS + ("tier",),
+    ).labels(scenario=scenario, fault=fault,
+             tier=getattr(result, "tier", "cycle") or "cycle").inc()
     for metric, help_text, value in (
         ("campaign_txns_completed_total",
          "Transactions completed", result.completed),

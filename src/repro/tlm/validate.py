@@ -1,0 +1,145 @@
+"""Cross-validation of the TLM tier against the cycle-accurate model.
+
+Replays each scenario on both tiers — at a seed *different* from the
+calibration seed, so the check measures generalisation — and reports
+per-scenario total-energy error (percent) and mean transfer-latency
+error (bus cycles) against the table's declared bound.  The report is
+JSON-able for the CI artefact, and ``passed`` is the single gate the
+``tlm validate`` CLI exits on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.tables import TextTable
+from .calibrate import _mean_latency_cycles, _tlm_run, reference_run
+
+#: Default held-out seed (calibration uses seed 1).
+VALIDATION_SEED = 2
+
+
+class ScenarioValidation:
+    """Both-tier comparison figures for one scenario."""
+
+    __slots__ = ("scenario", "cycle_energy_j", "tlm_energy_j",
+                 "energy_error_pct", "cycle_latency_cycles",
+                 "tlm_latency_cycles", "latency_error_cycles",
+                 "cycle_transactions", "tlm_transactions",
+                 "cycle_wall_s", "tlm_wall_s")
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @property
+    def speedup(self):
+        """Wall-clock speedup of the TLM run (informational only)."""
+        if not self.tlm_wall_s:
+            return float("inf")
+        return self.cycle_wall_s / self.tlm_wall_s
+
+    def to_dict(self):
+        data = {name: getattr(self, name) for name in self.__slots__}
+        data["speedup"] = self.speedup
+        return data
+
+
+class ValidationReport:
+    """Per-scenario validation entries plus the bound verdict."""
+
+    def __init__(self, entries, bound, seed, duration_us,
+                 table_digest=None):
+        self.entries = list(entries)
+        self.bound = dict(bound)
+        self.seed = seed
+        self.duration_us = duration_us
+        self.table_digest = table_digest
+
+    @property
+    def passed(self):
+        energy_bound = float(self.bound["energy_pct"])
+        latency_bound = float(self.bound["latency_cycles"])
+        return all(
+            abs(entry.energy_error_pct) <= energy_bound
+            and abs(entry.latency_error_cycles) <= latency_bound
+            for entry in self.entries
+        )
+
+    def to_dict(self):
+        return {
+            "passed": self.passed,
+            "bound": dict(sorted(self.bound.items())),
+            "seed": self.seed,
+            "duration_us": self.duration_us,
+            "table_digest": self.table_digest,
+            "scenarios": [entry.to_dict() for entry in self.entries],
+        }
+
+    def summary(self):
+        """Human-readable comparison table."""
+        table = TextTable(
+            ("scenario", "energy err %", "latency err cyc",
+             "cycle txns", "tlm txns", "speedup"))
+        for entry in self.entries:
+            table.add_row((
+                entry.scenario,
+                "%+.2f" % entry.energy_error_pct,
+                "%+.2f" % entry.latency_error_cycles,
+                "%d" % entry.cycle_transactions,
+                "%d" % entry.tlm_transactions,
+                "%.0fx" % entry.speedup,
+            ))
+        verdict = ("PASS" if self.passed else "FAIL") + \
+            " (bound: energy <= %.1f%%, latency <= %.1f cycles)" % (
+                float(self.bound["energy_pct"]),
+                float(self.bound["latency_cycles"]))
+        return table.format() + "\n" + verdict
+
+
+def validate_scenario(scenario, table, seed=VALIDATION_SEED,
+                      duration_us=40.0):
+    """Run *scenario* on both tiers and compare."""
+    start = time.perf_counter()
+    cycle_system = reference_run(scenario, seed, duration_us)
+    cycle_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    tlm_system = _tlm_run(scenario, seed, duration_us, table)
+    tlm_wall = time.perf_counter() - start
+
+    cycle_energy = cycle_system.ledger.total_energy
+    tlm_energy = tlm_system.ledger.total_energy
+    error_pct = (100.0 * (tlm_energy - cycle_energy) / cycle_energy
+                 if cycle_energy else 0.0)
+    cycle_latency = _mean_latency_cycles(cycle_system)
+    tlm_latency = tlm_system.mean_latency_cycles()
+    return ScenarioValidation(
+        scenario=scenario,
+        cycle_energy_j=cycle_energy,
+        tlm_energy_j=tlm_energy,
+        energy_error_pct=error_pct,
+        cycle_latency_cycles=cycle_latency,
+        tlm_latency_cycles=tlm_latency,
+        latency_error_cycles=tlm_latency - cycle_latency,
+        cycle_transactions=cycle_system.transactions_completed(),
+        tlm_transactions=tlm_system.transactions_completed(),
+        cycle_wall_s=cycle_wall,
+        tlm_wall_s=tlm_wall,
+    )
+
+
+def validate_table(table, scenarios=None, seed=VALIDATION_SEED,
+                   duration_us=40.0, bound=None):
+    """Cross-validate *table* over *scenarios* (default: the table's
+    calibration scenarios, falling back to every named scenario)."""
+    if scenarios is None:
+        scenarios = table.provenance.get("scenarios")
+    if not scenarios:
+        from ..workloads.scenarios import SCENARIO_PLANS
+        scenarios = sorted(SCENARIO_PLANS)
+    entries = [validate_scenario(scenario, table, seed=seed,
+                                 duration_us=duration_us)
+               for scenario in sorted(scenarios)]
+    return ValidationReport(entries, bound or table.error_bound,
+                            seed=seed, duration_us=duration_us,
+                            table_digest=table.digest())

@@ -9,8 +9,11 @@ from .patterns import (
     ReplaySource,
 )
 from .scenarios import (
+    SCENARIO_PLANS,
     SCENARIOS,
+    ScenarioPlan,
     build_scenario,
+    plan_scenario,
     portable_audio_player,
     portable_videogame,
     wireless_modem,
@@ -32,8 +35,11 @@ __all__ = [
     "RandomSource",
     "ReplaySource",
     "SCENARIOS",
+    "SCENARIO_PLANS",
+    "ScenarioPlan",
     "build_paper_testbench",
     "build_scenario",
+    "plan_scenario",
     "portable_audio_player",
     "portable_videogame",
     "slave_regions",

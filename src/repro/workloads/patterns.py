@@ -20,7 +20,7 @@ import random
 
 from ..amba.master import TrafficSource
 from ..amba.transactions import AhbTransaction
-from ..amba.types import HBURST, HSIZE, size_bytes
+from ..amba.types import HBURST, HSIZE, burst_beats, size_bytes
 from ..state.rng import load_rng_state, rng_state
 
 
@@ -181,7 +181,6 @@ class DmaBurstSource(BoundedSource):
         self._write_next = True
 
     def _generate(self, now):
-        from ..amba.types import burst_beats
         beats = burst_beats(self.burst) or 8
         step = size_bytes(self.hsize)
         span = beats * step

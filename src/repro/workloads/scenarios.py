@@ -6,8 +6,14 @@ videogames".  These builders assemble representative multi-master
 systems for those device classes so examples and benchmarks can speak
 about realistic platforms instead of abstract traffic knobs.
 
-Every scenario returns an :class:`~repro.workloads.testbench.AhbSystem`
-with the global power monitor attached.
+Every scenario is described by a :class:`ScenarioPlan` — the traffic
+sources plus the bus configuration knobs — which both execution tiers
+consume: :meth:`ScenarioPlan.build` elaborates the cycle-accurate
+:class:`~repro.workloads.testbench.AhbSystem`, while the
+transaction-level tier (:mod:`repro.tlm`) interprets the same plan
+without touching the kernel.  Sources are constructed in a fixed order
+with explicitly derived seeds, so the stimulus stream both tiers pull
+is identical transaction-for-transaction.
 
 Every builder additionally accepts the **traffic-shape overrides** the
 fuzz engine mutates (all JSON-able, all defaulting to the scenario's
@@ -50,6 +56,65 @@ def _burst(dma_burst, default):
     return default if dma_burst is None else HBURST(dma_burst)
 
 
+class ScenarioPlan:
+    """Assembly recipe of a named scenario, shared by both tiers.
+
+    ``sources`` is the ordered list of per-master traffic sources (the
+    default master is implicit); ``system_kwargs`` carries whatever
+    extra keyword arguments the caller wants forwarded to
+    :class:`~repro.workloads.testbench.AhbSystem` — including the
+    scenario's own ``wait_states``/``arbitration`` defaults.  The
+    resolver properties expose the knobs the transaction-level tier
+    needs without elaborating a kernel system.
+    """
+
+    def __init__(self, sources, n_slaves=3, frequency_hz=MHz(100),
+                 system_kwargs=None):
+        self.sources = list(sources)
+        self.n_slaves = n_slaves
+        self.frequency_hz = frequency_hz
+        self.system_kwargs = dict(system_kwargs or {})
+
+    @property
+    def wait_states(self):
+        """Per-slave wait states with the zero-wait default applied."""
+        wait_states = self.system_kwargs.get("wait_states")
+        if wait_states is None:
+            return [0] * self.n_slaves
+        return list(wait_states)
+
+    @property
+    def arbitration(self):
+        return self.system_kwargs.get("arbitration",
+                                      Arbitration.FIXED_PRIORITY)
+
+    @property
+    def region_size(self):
+        return self.system_kwargs.get("region_size", 0x1000)
+
+    def build(self):
+        """Elaborate the cycle-accurate system from this plan."""
+        return AhbSystem(self.sources, n_slaves=self.n_slaves,
+                         frequency_hz=self.frequency_hz,
+                         **self.system_kwargs)
+
+
+def portable_audio_player_plan(seed=0, frequency_hz=MHz(100),
+                               dma_burst=None, idle_scale=1.0,
+                               **system_kwargs):
+    """Plan for :func:`portable_audio_player`."""
+    regions = _regions(3)
+    cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
+                        read_fraction=0.85,
+                        idle_range=_scaled_idle((0, 4), idle_scale))
+    dma = DmaBurstSource([regions[2]], seed=seed + 1,
+                         burst=_burst(dma_burst, HBURST.INCR8),
+                         idle_range=_scaled_idle((6, 20), idle_scale))
+    return ScenarioPlan([cpu, dma], n_slaves=3,
+                        frequency_hz=frequency_hz,
+                        system_kwargs=system_kwargs)
+
+
 def portable_audio_player(seed=0, frequency_hz=MHz(100), dma_burst=None,
                           idle_scale=1.0, **system_kwargs):
     """A palmtop audio player.
@@ -59,15 +124,26 @@ def portable_audio_player(seed=0, frequency_hz=MHz(100), dma_burst=None,
 
     Three slaves: code ROM / work RAM / audio buffer RAM.
     """
+    return portable_audio_player_plan(
+        seed=seed, frequency_hz=frequency_hz, dma_burst=dma_burst,
+        idle_scale=idle_scale, **system_kwargs).build()
+
+
+def wireless_modem_plan(seed=0, frequency_hz=MHz(100), dma_burst=None,
+                        idle_scale=1.0, **system_kwargs):
+    """Plan for :func:`wireless_modem`."""
     regions = _regions(3)
-    cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
-                        read_fraction=0.85,
-                        idle_range=_scaled_idle((0, 4), idle_scale))
-    dma = DmaBurstSource([regions[2]], seed=seed + 1,
-                         burst=_burst(dma_burst, HBURST.INCR8),
-                         idle_range=_scaled_idle((6, 20), idle_scale))
-    return AhbSystem([cpu, dma], n_slaves=3,
-                     frequency_hz=frequency_hz, **system_kwargs)
+    cpu = CpuLikeSource([regions[0]], seed=seed, read_fraction=0.7,
+                        jump_probability=0.2,
+                        idle_range=_scaled_idle((0, 6), idle_scale))
+    rx_dma = DmaBurstSource([regions[1], regions[2]], seed=seed + 1,
+                            burst=_burst(dma_burst, HBURST.WRAP4),
+                            idle_range=_scaled_idle((2, 30), idle_scale))
+    system_kwargs.setdefault("wait_states", [0, 1, 1])
+    system_kwargs.setdefault("arbitration", Arbitration.ROUND_ROBIN)
+    return ScenarioPlan([cpu, rx_dma], n_slaves=3,
+                        frequency_hz=frequency_hz,
+                        system_kwargs=system_kwargs)
 
 
 def wireless_modem(seed=0, frequency_hz=MHz(100), dma_burst=None,
@@ -78,28 +154,15 @@ def wireless_modem(seed=0, frequency_hz=MHz(100), dma_burst=None,
     * RX DMA: bursty WRAP4 frames into the packet RAM;
     * slow shared RAM (1 wait state) modelling an embedded macro.
     """
-    regions = _regions(3)
-    cpu = CpuLikeSource([regions[0]], seed=seed, read_fraction=0.7,
-                        jump_probability=0.2,
-                        idle_range=_scaled_idle((0, 6), idle_scale))
-    rx_dma = DmaBurstSource([regions[1], regions[2]], seed=seed + 1,
-                            burst=_burst(dma_burst, HBURST.WRAP4),
-                            idle_range=_scaled_idle((2, 30), idle_scale))
-    system_kwargs.setdefault("wait_states", [0, 1, 1])
-    system_kwargs.setdefault("arbitration", Arbitration.ROUND_ROBIN)
-    return AhbSystem([cpu, rx_dma], n_slaves=3,
-                     frequency_hz=frequency_hz,
-                     **system_kwargs)
+    return wireless_modem_plan(
+        seed=seed, frequency_hz=frequency_hz, dma_burst=dma_burst,
+        idle_scale=idle_scale, **system_kwargs).build()
 
 
-def portable_videogame(seed=0, frequency_hz=MHz(100), dma_burst=None,
-                       idle_scale=1.0, **system_kwargs):
-    """A handheld videogame.
-
-    * game-logic CPU;
-    * sprite/frame DMA with long INCR16 bursts;
-    * input/misc master with sparse random accesses.
-    """
+def portable_videogame_plan(seed=0, frequency_hz=MHz(100),
+                            dma_burst=None, idle_scale=1.0,
+                            **system_kwargs):
+    """Plan for :func:`portable_videogame`."""
     regions = _regions(3)
     cpu = CpuLikeSource([regions[0], regions[1]], seed=seed,
                         read_fraction=0.75,
@@ -111,8 +174,22 @@ def portable_videogame(seed=0, frequency_hz=MHz(100), dma_burst=None,
                              write_fraction=0.3,
                              idle_range=_scaled_idle((10, 50),
                                                      idle_scale))
-    return AhbSystem([cpu, gfx_dma, io_master], n_slaves=3,
-                     frequency_hz=frequency_hz, **system_kwargs)
+    return ScenarioPlan([cpu, gfx_dma, io_master], n_slaves=3,
+                        frequency_hz=frequency_hz,
+                        system_kwargs=system_kwargs)
+
+
+def portable_videogame(seed=0, frequency_hz=MHz(100), dma_burst=None,
+                       idle_scale=1.0, **system_kwargs):
+    """A handheld videogame.
+
+    * game-logic CPU;
+    * sprite/frame DMA with long INCR16 bursts;
+    * input/misc master with sparse random accesses.
+    """
+    return portable_videogame_plan(
+        seed=seed, frequency_hz=frequency_hz, dma_burst=dma_burst,
+        idle_scale=idle_scale, **system_kwargs).build()
 
 
 #: Registry used by examples and benchmarks.
@@ -120,6 +197,13 @@ SCENARIOS = {
     "portable-audio-player": portable_audio_player,
     "wireless-modem": wireless_modem,
     "portable-videogame": portable_videogame,
+}
+
+#: Plan builders mirroring :data:`SCENARIOS` (same names, same seeds).
+SCENARIO_PLANS = {
+    "portable-audio-player": portable_audio_player_plan,
+    "wireless-modem": wireless_modem_plan,
+    "portable-videogame": portable_videogame_plan,
 }
 
 
@@ -131,5 +215,17 @@ def build_scenario(name, seed=0, **kwargs):
         raise KeyError(
             "unknown scenario %r (available: %s)"
             % (name, ", ".join(sorted(SCENARIOS)))
+        ) from None
+    return builder(seed=seed, **kwargs)
+
+
+def plan_scenario(name, seed=0, **kwargs):
+    """The :class:`ScenarioPlan` of scenario *name* (no elaboration)."""
+    try:
+        builder = SCENARIO_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario %r (available: %s)"
+            % (name, ", ".join(sorted(SCENARIO_PLANS)))
         ) from None
     return builder(seed=seed, **kwargs)

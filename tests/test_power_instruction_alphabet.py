@@ -1,0 +1,95 @@
+"""The §5.2 instruction alphabet is exhaustive (ISSUE 9 satellite).
+
+The TLM tier's calibration tables are keyed by the ``<FROM>_<TO>``
+instruction names of :mod:`repro.power.instructions`.  If the
+cycle-accurate power FSM could ever emit a transition outside
+:data:`ALL_INSTRUCTIONS`, the TLM coefficient lookup would silently
+fall back to the pooled mean and the calibrated error bound would be
+meaningless.  These tests pin the alphabet closed twice over:
+structurally (any classifiable mode pair maps into the alphabet) and
+observationally (every transition either tier actually charges across
+all named scenarios is in the alphabet).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amba.types import HTRANS
+from repro.kernel import us
+from repro.power.instructions import (
+    ALL_INSTRUCTIONS,
+    ARBITRATION_INSTRUCTIONS,
+    BusMode,
+    DATA_TRANSFER_INSTRUCTIONS,
+    classify_mode,
+    current_mode_of,
+    instruction_name,
+)
+from repro.tlm import TlmSystem, load_default_table
+from repro.tlm.calibrate import reference_run
+from repro.workloads import SCENARIO_PLANS, plan_scenario
+
+MODES = st.sampled_from(sorted(BusMode, key=lambda mode: mode.value))
+
+
+class TestStructuralClosure:
+    def test_alphabet_is_the_full_mode_product(self):
+        assert len(ALL_INSTRUCTIONS) == len(BusMode) ** 2
+        assert len(set(ALL_INSTRUCTIONS)) == len(ALL_INSTRUCTIONS)
+
+    @given(previous=MODES, current=MODES)
+    def test_every_mode_pair_names_an_instruction(self, previous,
+                                                  current):
+        name = instruction_name(previous, current)
+        assert name in ALL_INSTRUCTIONS
+        assert current_mode_of(name) is current
+
+    @given(
+        htrans=st.sampled_from([int(t) for t in HTRANS]),
+        hwrite=st.booleans(),
+        handover=st.booleans(),
+        previous=MODES,
+    )
+    @settings(max_examples=200)
+    def test_any_classified_cycle_stays_in_alphabet(
+            self, htrans, hwrite, handover, previous):
+        """Whatever the bus drives, the resulting transition has a
+        name in the alphabet — the closure the table lookup relies
+        on."""
+        mode = classify_mode(htrans, hwrite, handover)
+        assert mode in BusMode
+        assert instruction_name(previous, mode) in ALL_INSTRUCTIONS
+
+    def test_instruction_classes_partition_the_alphabet(self):
+        data = set(DATA_TRANSFER_INSTRUCTIONS)
+        arbitration = set(ARBITRATION_INSTRUCTIONS)
+        assert data.isdisjoint(arbitration)
+        assert data | arbitration <= set(ALL_INSTRUCTIONS)
+
+
+class TestObservedTransitions:
+    """Every transition the power FSM charges on real workloads is in
+    the alphabet — across all named scenarios, on both tiers."""
+
+    def test_cycle_accurate_transitions_covered(self):
+        for scenario in sorted(SCENARIO_PLANS):
+            system = reference_run(scenario, seed=5, duration_us=5.0)
+            observed = set(system.ledger.instructions)
+            assert observed, scenario
+            assert observed <= set(ALL_INSTRUCTIONS), (
+                "scenario %s charged instructions outside the §5.2 "
+                "alphabet: %s"
+                % (scenario, sorted(observed - set(ALL_INSTRUCTIONS))))
+
+    def test_tlm_transitions_covered(self):
+        table = load_default_table()
+        for scenario in sorted(SCENARIO_PLANS):
+            system = TlmSystem(plan_scenario(scenario, seed=5), table,
+                               scenario=scenario)
+            system.run(us(5.0))
+            observed = set(system.ledger.instructions)
+            assert observed, scenario
+            assert observed <= set(ALL_INSTRUCTIONS), (
+                "TLM run of %s emitted instructions outside the §5.2 "
+                "alphabet: %s"
+                % (scenario, sorted(observed - set(ALL_INSTRUCTIONS))))

@@ -1,0 +1,130 @@
+"""Calibration table artefact: serde, digest integrity, warm-up ramp,
+and the committed table's held-out error bound.
+
+The committed ``src/repro/tlm/tables/default.json`` is a versioned,
+digest-stamped artefact: hand-edits must be rejected on load, the
+declared error bound must hold at the held-out validation seed, and
+the warm-up ramp must normalise to 1.0 at its own calibration horizon.
+"""
+
+import json
+
+import pytest
+
+from repro.tlm import CalibrationTable, load_default_table
+from repro.tlm.calibrate import (
+    DEFAULT_CALIBRATION_SEEDS,
+    DEFAULT_ERROR_BOUND,
+    TABLE_FORMAT,
+    _fit_warmup,
+)
+from repro.tlm.validate import VALIDATION_SEED, validate_table
+
+
+class TestTableSerde:
+    def test_round_trip_preserves_digest(self):
+        table = load_default_table()
+        clone = CalibrationTable.from_dict(
+            json.loads(json.dumps(table.to_dict())))
+        assert clone.digest() == table.digest()
+        assert clone.to_dict() == table.to_dict()
+
+    def test_hand_edited_table_rejected(self):
+        data = load_default_table().to_dict()
+        data["default_energy_j"] *= 2
+        with pytest.raises(ValueError, match="digest"):
+            CalibrationTable.from_dict(data)
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ValueError, match=TABLE_FORMAT):
+            CalibrationTable.from_dict({"format": "other/9"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        table = load_default_table()
+        path = tmp_path / "table.json"
+        table.save(str(path))
+        assert CalibrationTable.load(str(path)).digest() \
+            == table.digest()
+
+
+class TestCommittedArtefact:
+    def test_declares_the_contract_bound(self):
+        table = load_default_table()
+        assert table.error_bound == DEFAULT_ERROR_BOUND
+        assert table.provenance["scenarios"]
+        assert table.version >= 1
+
+    def test_validation_seed_held_out_of_calibration(self):
+        """The committed table's generalisation evidence depends on
+        seed 2 never being fitted."""
+        table = load_default_table()
+        assert VALIDATION_SEED not in table.provenance["seeds"]
+        assert VALIDATION_SEED not in DEFAULT_CALIBRATION_SEEDS
+
+    def test_scenario_coefficients_resolve(self):
+        table = load_default_table()
+        for scenario in table.provenance["scenarios"]:
+            coeffs = table.coefficients_for(scenario)
+            assert coeffs.get("WRITE_WRITE") > 0
+            assert coeffs.get("NO_SUCH_INSTRUCTION") \
+                == pytest.approx(coeffs.default)
+
+
+class TestWarmupRamp:
+    def test_factor_is_one_at_calibration_horizon(self):
+        table = load_default_table()
+        for scenario in table.provenance["scenarios"]:
+            warmup = table.scenario_entry(scenario).get("warmup")
+            assert warmup, scenario
+            assert table.warmup_factor(
+                scenario, warmup["horizon_cycles"]) \
+                == pytest.approx(1.0, abs=1e-9)
+
+    def test_short_runs_corrected_downward(self):
+        """Early cycles read mostly-zero memory: a short window must
+        be charged less per cycle than the horizon fit."""
+        table = load_default_table()
+        for scenario in table.provenance["scenarios"]:
+            horizon = table.scenario_entry(
+                scenario)["warmup"]["horizon_cycles"]
+            assert table.warmup_factor(scenario, horizon / 8) < 1.0
+
+    def test_unknown_scenario_and_degenerate_inputs(self):
+        table = load_default_table()
+        assert table.warmup_factor("unknown-scenario", 1000) == 1.0
+        assert table.warmup_factor(
+            table.provenance["scenarios"][0], 0) == 1.0
+
+    def test_fit_recovers_a_known_ramp(self):
+        import math
+        tau, e_inf, delta = 2000.0, 10.0, 3.0
+        points = [
+            (cycles,
+             e_inf - delta * tau / cycles
+             * (1.0 - math.exp(-cycles / tau)))
+            for cycles in (500.0, 1000.0, 2000.0, 4000.0)
+        ]
+        fit = _fit_warmup(points)
+        assert fit is not None
+        assert fit["tau_cycles"] == pytest.approx(tau, rel=0.05)
+
+    def test_fit_declines_flat_data(self):
+        points = [(500.0, 1.0), (1000.0, 1.0), (2000.0, 1.0),
+                  (4000.0, 1.0)]
+        assert _fit_warmup(points) is None
+
+
+class TestHeldOutBound:
+    def test_committed_table_passes_quick_validation(self):
+        """One scenario at the held-out seed inside the declared
+        bound (CI runs the full sweep; this is the fast in-suite
+        check)."""
+        report = validate_table(
+            load_default_table(),
+            scenarios=("portable-audio-player",), duration_us=20.0)
+        assert report.passed, "\n" + report.summary()
+        entry = report.entries[0]
+        assert abs(entry.energy_error_pct) \
+            <= report.bound["energy_pct"]
+        assert abs(entry.latency_error_cycles) \
+            <= report.bound["latency_cycles"]
