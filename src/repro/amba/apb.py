@@ -158,6 +158,7 @@ class ApbRegisterSlave(Module):
             self._drive_prdata,
             [self.port.psel, bridge.paddr, bridge.pwrite],
             name="drive_prdata",
+            writes=[self.port.prdata],
         )
         self.method(self._on_clk, [clk.posedge], name="write_regs",
                     initialize=False)

@@ -33,6 +33,10 @@ from ..kernel import Module
 from .config import Arbitration
 from .types import HRESP, HTRANS, burst_beats, is_active
 
+# Hot-path constants (the grant/ownership methods run every cycle).
+_TRANS_IDLE = int(HTRANS.IDLE)
+_RESP_SPLIT = int(HRESP.SPLIT)
+
 
 class Arbiter(Module):
     """Grant arbiter for up to 16 masters.
@@ -105,7 +109,9 @@ class Arbiter(Module):
         sensitivity += [port.hlock for port in self.master_ports]
         sensitivity += [bus_htrans, self.hmaster, self.at_boundary,
                         self.split_mask, self.slot_owner]
-        self.method(self._decide_grant, sensitivity, name="decide_grant")
+        self.method(self._decide_grant, sensitivity, name="decide_grant",
+                    writes=[self._grant_idx, self.hmastlock]
+                    + [port.hgrant for port in self.master_ports])
         self.method(self._update_owner, [clk.posedge], name="update_owner",
                     initialize=False)
         if self.split_inputs or bus_hresp is not None:
@@ -116,9 +122,9 @@ class Arbiter(Module):
     # -- combinational grant ------------------------------------------------
 
     def _requesters(self):
-        mask = self.split_mask.value
+        mask = self.split_mask._value
         return [index for index, port in enumerate(self.master_ports)
-                if port.hbusreq.value and not (mask >> index) & 1]
+                if port.hbusreq._value and not (mask >> index) & 1]
 
     def _track_splits(self):
         """Maintain the split mask (spec §3.12).
@@ -129,17 +135,17 @@ class Arbiter(Module):
         (HREADY low) SPLIT cycle — the master whose transfer is being
         split.
         """
-        mask = self.split_mask.value
+        mask = self.split_mask._value
         release = self._forced_release
         self._forced_release = 0
         for hsplit in self.split_inputs:
-            release |= hsplit.value
+            release |= hsplit._value
         if release:
             mask &= ~release
         if self.bus_hresp is not None and \
-                self.bus_hresp.value == int(HRESP.SPLIT) and \
-                not self.bus_hready.value:
-            victim = self.hmaster_d.value
+                self.bus_hresp._value == _RESP_SPLIT and \
+                not self.bus_hready._value:
+            victim = self.hmaster_d._value
             if victim != self.default_master and \
                     not (mask >> victim) & 1:
                 mask |= 1 << victim
@@ -148,14 +154,14 @@ class Arbiter(Module):
 
     def _decide_grant(self):
         """Combinational grant decision for the current cycle."""
-        owner = self.hmaster.value
+        owner = self.hmaster._value
         owner_port = self.master_ports[owner]
-        owner_active = self.bus_htrans.value != int(HTRANS.IDLE)
-        owner_locked = bool(owner_port.hlock.value)
+        owner_active = self.bus_htrans._value != _TRANS_IDLE
+        owner_locked = bool(owner_port.hlock._value)
 
         reevaluate = not owner_active
         if self.policy in (Arbitration.ROUND_ROBIN, Arbitration.TDMA) \
-                and self.at_boundary.value:
+                and self.at_boundary._value:
             reevaluate = True
 
         if owner_locked or not reevaluate:
@@ -167,7 +173,7 @@ class Arbiter(Module):
             elif self.policy == Arbitration.FIXED_PRIORITY:
                 grant = min(requesters)
             elif self.policy == Arbitration.TDMA:
-                slot = self.slot_owner.value
+                slot = self.slot_owner._value
                 grant = slot if slot in requesters \
                     else min(requesters)  # slot reclaiming
             else:  # round-robin
@@ -175,7 +181,7 @@ class Arbiter(Module):
 
         self._grant_idx.write(grant)
         self.hmastlock.write(
-            1 if self.master_ports[grant].hlock.value else 0
+            1 if self.master_ports[grant].hlock._value else 0
         )
         for index, port in enumerate(self.master_ports):
             port.hgrant.write(1 if index == grant else 0)
@@ -198,10 +204,10 @@ class Arbiter(Module):
             slot_index = ((self._cycle_counter // self.tdma_slot_cycles)
                           % len(self._tdma_masters))
             self.slot_owner.write(self._tdma_masters[slot_index])
-        if not self.bus_hready.value:
+        if not self.bus_hready._value:
             return
-        grant = self._grant_idx.value
-        owner = self.hmaster.value
+        grant = self._grant_idx._value
+        owner = self.hmaster._value
         if grant != owner:
             self.handover_count += 1
             self.grant_change_count += 1
@@ -218,11 +224,11 @@ class Arbiter(Module):
         a SINGLE or fixed-length burst was accepted; undefined-length
         INCR bursts never raise it (the arbiter cannot know their end).
         """
-        htrans = HTRANS(self.bus_htrans.value)
+        htrans = HTRANS(self.bus_htrans._value)
         if htrans == HTRANS.NONSEQ:
             self._beats_done = 1
             self._expected_beats = (
-                burst_beats(self.bus_hburst.value)
+                burst_beats(self.bus_hburst._value)
                 if self.bus_hburst is not None else 1
             )
         elif htrans == HTRANS.SEQ:

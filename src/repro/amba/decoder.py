@@ -40,11 +40,13 @@ class Decoder(Module):
         #: Index of the currently selected slave (len == default slave).
         self.selected_index = self.signal("selected", init=len(slave_ports),
                                           width=8)
-        self.method(self._decode, [bus_haddr], name="decode")
+        self.method(self._decode, [bus_haddr], name="decode",
+                    writes=[port.hsel for port in self.slave_ports]
+                    + [default_port.hsel, self.selected_index])
 
     def _decode(self):
         """Drive the one-hot HSEL vector for the current address."""
-        target = self.address_map.decode(self.bus_haddr.value)
+        target = self.address_map.decode(self.bus_haddr._value)
         if target is None:
             target = len(self.slave_ports)
         for index, port in enumerate(self.slave_ports):

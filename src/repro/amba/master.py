@@ -25,6 +25,13 @@ from ..kernel import Module
 from .transactions import Beat, txn_from_state, txn_state
 from .types import HRESP, HTRANS
 
+# Hot-path constants: the per-cycle drive methods run once per master
+# per clock cycle, where even the IntEnum→int conversion shows up.
+_TRANS_IDLE = int(HTRANS.IDLE)
+_TRANS_BUSY = int(HTRANS.BUSY)
+_TRANS_NONSEQ = int(HTRANS.NONSEQ)
+_TRANS_SEQ = int(HTRANS.SEQ)
+
 
 class TrafficSource:
     """Interface pulled by a master when its queue runs dry.
@@ -125,16 +132,16 @@ class AhbMaster(Module):
 
     def _on_clk(self):
         bus = self.bus
-        if not bus.hready.value:
+        if not bus.hready._value:
             self.wait_cycles += 1
-            self._handle_stalled_response(HRESP(bus.hresp.value))
+            self._handle_stalled_response(HRESP(bus.hresp._value))
             return
 
         self._complete_data_phase()
         advancing = self._addr_beat
         self._addr_beat = None
         self._advance_idle_and_pull()
-        self._drive_address_phase(bool(self.port.hgrant.value))
+        self._drive_address_phase(self.port.hgrant._value)
         self._enter_data_phase(advancing)
         self._drive_request()
 
@@ -161,7 +168,7 @@ class AhbMaster(Module):
         cancelled = self._addr_beat
         self._addr_beat = None
         self._rewind_to(cancelled)
-        self.port.htrans.write(int(HTRANS.IDLE))
+        self.port.htrans.write(_TRANS_IDLE)
 
     def _complete_data_phase(self):
         """Finish the beat whose data phase just ended (HREADY high)."""
@@ -169,12 +176,12 @@ class AhbMaster(Module):
         if beat is None:
             return
         self._data_beat = None
-        resp = HRESP(self.bus.hresp.value)
+        resp = HRESP(self.bus.hresp._value)
         txn = beat.txn
         txn.responses.append(resp)
         if resp == HRESP.OKAY:
             if not beat.write:
-                txn.rdata.append(self.bus.hrdata.value)
+                txn.rdata.append(self.bus.hrdata._value)
             self.beats_completed += 1
             if beat.last:
                 self._finish_transaction(txn)
@@ -261,7 +268,7 @@ class AhbMaster(Module):
     def _drive_address_phase(self, granted):
         port = self.port
         if not granted:
-            port.htrans.write(int(HTRANS.IDLE))
+            port.htrans.write(_TRANS_IDLE)
             if self._current is not None and self._beat_index > 0:
                 # Lost the bus mid-burst (round-robin boundary
                 # preemption): the remaining beats restart as a new
@@ -274,10 +281,10 @@ class AhbMaster(Module):
             # NONSEQ for the first beat of a burst and for beats
             # re-issued after a rewind (RETRY/SPLIT or cancelled
             # address phase); SEQ otherwise.
-            htrans = HTRANS.NONSEQ if (beat.first or self._reissue) \
-                else HTRANS.SEQ
+            htrans = _TRANS_NONSEQ if (beat.first or self._reissue) \
+                else _TRANS_SEQ
             self._reissue = False
-            port.htrans.write(int(htrans))
+            port.htrans.write(htrans)
             port.haddr.write(beat.address)
             port.hwrite.write(1 if beat.write else 0)
             port.hsize.write(int(beat.txn.hsize))
@@ -286,11 +293,11 @@ class AhbMaster(Module):
                 beat.txn.issue_time = self.sim.now
             self._addr_beat = beat
         elif action == "busy":
-            port.htrans.write(int(HTRANS.BUSY))
+            port.htrans.write(_TRANS_BUSY)
             port.haddr.write(payload)
             self.busy_cycles += 1
         else:
-            port.htrans.write(int(HTRANS.IDLE))
+            port.htrans.write(_TRANS_IDLE)
             self.idle_owned_cycles += 1
 
     _reissue = False

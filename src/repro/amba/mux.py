@@ -14,6 +14,10 @@ from __future__ import annotations
 from ..kernel import Module
 from .types import HRESP, HTRANS, is_active
 
+# Per-cycle drive constants (both multiplexers run in the hot cascade).
+_RESP_OKAY = int(HRESP.OKAY)
+_RESP_ERROR = int(HRESP.ERROR)
+
 
 class MasterToSlaveMux(Module):
     """Forwards the owning master's address/control and write data.
@@ -39,25 +43,29 @@ class MasterToSlaveMux(Module):
             self._route_address_control,
             addr_ctrl_inputs + [hmaster],
             name="route_addr_ctrl",
+            writes=[bus.htrans, bus.haddr, bus.hwrite, bus.hsize,
+                    bus.hburst, bus.hprot],
         )
         self.method(
             self._route_write_data,
             [port.hwdata for port in self.master_ports] + [hmaster_d],
             name="route_wdata",
+            writes=[bus.hwdata],
         )
 
     def _route_address_control(self):
-        port = self.master_ports[self.hmaster.value]
-        self.bus.htrans.write(port.htrans.value)
-        self.bus.haddr.write(port.haddr.value)
-        self.bus.hwrite.write(port.hwrite.value)
-        self.bus.hsize.write(port.hsize.value)
-        self.bus.hburst.write(port.hburst.value)
-        self.bus.hprot.write(port.hprot.value)
+        port = self.master_ports[self.hmaster._value]
+        bus = self.bus
+        bus.htrans.write(port.htrans._value)
+        bus.haddr.write(port.haddr._value)
+        bus.hwrite.write(port.hwrite._value)
+        bus.hsize.write(port.hsize._value)
+        bus.hburst.write(port.hburst._value)
+        bus.hprot.write(port.hprot._value)
 
     def _route_write_data(self):
-        port = self.master_ports[self.hmaster_d.value]
-        self.bus.hwdata.write(port.hwdata.value)
+        port = self.master_ports[self.hmaster_d._value]
+        self.bus.hwdata.write(port.hwdata._value)
 
     @property
     def n_inputs(self):
@@ -101,28 +109,30 @@ class SlaveToMasterMux(Module):
             self._route_response,
             response_inputs + [self.dsel, self.dactive, self.force_resp],
             name="route_response",
+            writes=[bus.hready, bus.hresp, bus.hrdata],
         )
         self.method(self._advance_data_phase, [clk.posedge],
                     name="advance_data_phase", initialize=False)
         self._n_all = n_all
+        self._ports_by_dsel = tuple(self.slave_ports) + (default_port,)
 
     def _all_ports(self):
-        return list(self.slave_ports) + [self.default_port]
+        return list(self._ports_by_dsel)
 
     def _route_response(self):
-        force = self.force_resp.value
+        force = self.force_resp._value
         if force:
             self.bus.hready.write(0 if force > 1 else 1)
-            self.bus.hresp.write(int(HRESP.ERROR))
+            self.bus.hresp.write(_RESP_ERROR)
             return
-        if self.dactive.value:
-            port = self._all_ports()[self.dsel.value]
-            self.bus.hready.write(port.hready_out.value)
-            self.bus.hresp.write(port.hresp.value)
-            self.bus.hrdata.write(port.hrdata.value)
+        if self.dactive._value:
+            port = self._ports_by_dsel[self.dsel._value]
+            self.bus.hready.write(port.hready_out._value)
+            self.bus.hresp.write(port.hresp._value)
+            self.bus.hrdata.write(port.hrdata._value)
         else:
             self.bus.hready.write(1)
-            self.bus.hresp.write(int(HRESP.OKAY))
+            self.bus.hresp.write(_RESP_OKAY)
 
     def force_error(self):
         """Present a two-cycle ERROR response instead of the selected
@@ -139,15 +149,15 @@ class SlaveToMasterMux(Module):
 
     def _advance_data_phase(self):
         """Latch the decoder select when the address phase is accepted."""
-        force = self.force_resp.value
+        force = self.force_resp._value
         if force:
             self._force_pending = False
             self.force_resp.write(force - 1)
-        if not self.bus.hready.value:
+        if not self.bus.hready._value:
             return
-        self.dsel.write(self.decoder_selected.value)
+        self.dsel.write(self.decoder_selected._value)
         self.dactive.write(
-            1 if is_active(HTRANS(self.bus.htrans.value)) else 0
+            1 if is_active(HTRANS(self.bus.htrans._value)) else 0
         )
 
     # -- checkpoint support ---------------------------------------------

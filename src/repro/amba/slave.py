@@ -13,6 +13,9 @@ from __future__ import annotations
 from ..kernel import Module
 from .types import HRESP, HTRANS, is_active, size_bytes
 
+# Per-cycle drive constant (every slave writes hresp each cycle).
+_RESP_OKAY = int(HRESP.OKAY)
+
 
 class _PendingTransfer:
     """Address-phase information latched by a slave."""
@@ -88,26 +91,27 @@ class AhbSlaveBase(Module):
     def _on_clk(self):
         port = self.port
         bus = self.bus
-        bus_ready = bool(bus.hready.value)
+        bus_ready = bus.hready._value
 
         # 1. Finish the data phase that completed during the last cycle.
-        if self._pending is not None and port.hready_out.value and bus_ready:
+        if self._pending is not None and port.hready_out._value \
+                and bus_ready:
             transfer = self._pending
             self._pending = None
             if self._response == HRESP.OKAY and transfer.write:
                 self._do_write(transfer.address, transfer.size,
-                               bus.hwdata.value)
+                               bus.hwdata._value)
                 self.writes += 1
             elif self._response == HRESP.OKAY:
                 self.reads += 1
             self._response = HRESP.OKAY
 
         # 2. Sample a new address phase.
-        if bus_ready and port.hsel.value and \
-                is_active(HTRANS(bus.htrans.value)):
+        if bus_ready and port.hsel._value and \
+                is_active(HTRANS(bus.htrans._value)):
             transfer = _PendingTransfer(
-                bus.haddr.value, bool(bus.hwrite.value),
-                bus.hsize.value, bus.hburst.value,
+                bus.haddr._value, bool(bus.hwrite._value),
+                bus.hsize._value, bus.hburst._value,
             )
             self._pending = transfer
             self.transfers_accepted += 1
@@ -153,12 +157,12 @@ class AhbSlaveBase(Module):
         port = self.port
         if self._pending is None:
             port.hready_out.write(1)
-            port.hresp.write(int(HRESP.OKAY))
+            port.hresp.write(_RESP_OKAY)
             return
         if self._waits_left is None:
             if self._stall_result is None:
                 port.hready_out.write(0)
-                port.hresp.write(int(HRESP.OKAY))
+                port.hresp.write(_RESP_OKAY)
                 return
             response, rdata = self._stall_result
             self._stall_result = None
@@ -177,7 +181,7 @@ class AhbSlaveBase(Module):
             else:
                 port.hready_out.write(1)
             return
-        port.hresp.write(int(HRESP.OKAY))
+        port.hresp.write(_RESP_OKAY)
         if self._waits_left > 0:
             self._waits_left -= 1
             port.hready_out.write(0)

@@ -176,6 +176,7 @@ def _cmd_faults(args):
         recover=not args.no_recover,
         check_protocol=args.check_protocol,
         tier=args.tier,
+        engine=args.engine,
         jobs=args.jobs, timeout=args.timeout,
         journal=args.journal, resume=args.resume,
         checkpoint_dir=args.checkpoint_dir,
@@ -295,6 +296,7 @@ def _cmd_fuzz(args):
         wall_budget_s=args.time_budget,
         resume=args.resume,
         warm_start=args.warm_start,
+        engine=args.engine,
     )
     report = run_fuzz_campaign(args.corpus, config)
     print(report.summary())
@@ -544,6 +546,13 @@ def build_parser():
              "identically on both, so a tlm survey can be confirmed "
              "cycle-accurately run for run)")
     faults_parser.add_argument(
+        "--engine", choices=("interpreted", "compiled", "auto"),
+        default="interpreted",
+        help="kernel engine for cycle-tier runs: the delta-cycle "
+             "interpreter, the levelized compiled engine "
+             "(repro.compiled; bit-identical, faster), or auto "
+             "(compiled when the design compiles, else interpreted)")
+    faults_parser.add_argument(
         "--record", metavar="PATH",
         help="write a replay trace of every campaign run to PATH")
     faults_parser.add_argument("--json",
@@ -695,6 +704,12 @@ def build_parser():
         help="warm-start mutated candidates from shared scenario-"
              "prefix checkpoints (CORPUS/warmstart); corpus evolution "
              "stays bit-identical to a cold campaign")
+    fuzz_parser.add_argument(
+        "--engine", choices=("interpreted", "compiled", "auto"),
+        default="interpreted",
+        help="kernel engine stamped into seed genomes (mutation "
+             "preserves it); outcomes and corpus evolution are "
+             "engine-independent")
     fuzz_parser.add_argument(
         "--no-shrink", action="store_true",
         help="record failures without ddmin-minimising them "

@@ -1,0 +1,120 @@
+"""Combinational levelization.
+
+Orders the combinational processes of a :class:`~repro.compiled.graph.DesignGraph`
+topologically: process *A* precedes process *B* when *A* writes a
+signal *B* reads.  The resulting level assignment lets the compiled
+engine evaluate a combinational cascade in a bounded number of
+delta rounds and lets the analyser prove the absence of combinational
+cycles at compile time.
+
+A cycle is a hard :class:`~repro.compiled.errors.CompileError`; the
+error names the full alternating ``process -> signal -> process``
+path so the modeller can see exactly which feedback arc to break
+(usually by registering one of the signals).
+"""
+
+from __future__ import annotations
+
+from .errors import CompileError
+
+
+def levelize(comb_infos):
+    """Assign ``info.level`` to every combinational process.
+
+    Returns the infos sorted by ``(level, registration order)``.
+    Raises :class:`CompileError` naming a combinational cycle if the
+    write->read graph is not a DAG.
+    """
+    infos = list(comb_infos)
+    writers = {}            # signal -> [ProcessInfo]
+    for info in infos:
+        for signal in info.writes:
+            writers.setdefault(signal, []).append(info)
+
+    # successors[a] = processes reading a signal a writes, with the
+    # connecting signal kept for cycle reporting.
+    successors = {info: [] for info in infos}
+    indegree = {info: 0 for info in infos}
+    for info in infos:
+        for signal in info.reads:
+            for writer in writers.get(signal, ()):
+                successors[writer].append((signal, info))
+                indegree[info] += 1
+
+    order = {info: index for index, info in enumerate(infos)}
+    ready = sorted((info for info in infos if indegree[info] == 0),
+                   key=order.get)
+    for info in ready:
+        info.level = 0
+    levelled = []
+    while ready:
+        info = ready.pop(0)
+        levelled.append(info)
+        for _, succ in successors[info]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                succ.level = info.level + 1
+                # keep deterministic order within a level
+                position = len(ready)
+                for index, queued in enumerate(ready):
+                    if order[queued] > order[succ]:
+                        position = index
+                        break
+                ready.insert(position, succ)
+
+    if len(levelled) != len(infos):
+        remaining = [info for info in infos if indegree[info] > 0]
+        path = _find_cycle(remaining, successors)
+        raise CompileError(
+            "combinational cycle detected: %s; register one of these "
+            "signals (drive it from a clocked process) to break the "
+            "loop" % " -> ".join(path),
+            process_names=tuple(dict.fromkeys(path[::2])),
+            cycle_path=tuple(path))
+
+    return sorted(levelled, key=lambda info: (info.level, order[info]))
+
+
+def _find_cycle(remaining, successors):
+    """Find one cycle among *remaining* (all have indegree > 0).
+
+    Returns the alternating ``[process-name, signal-name,
+    process-name, ..., first process-name]`` path (all strings).
+    """
+    remaining_set = set(remaining)
+    state = {}          # info -> "active" | "done"
+    # parent[info] = (predecessor info, connecting signal name)
+    for start in remaining:
+        if start in state:
+            continue
+        stack = [(start, iter(successors[start]))]
+        state[start] = "active"
+        parents = {start: None}
+        while stack:
+            info, edges = stack[-1]
+            advanced = False
+            for signal, succ in edges:
+                if succ not in remaining_set:
+                    continue
+                if state.get(succ) == "active":
+                    # Cycle closed: walk parents back from info to succ.
+                    path = [succ.name]
+                    node, link = info, signal.name
+                    while True:
+                        path.append(link)
+                        path.append(node.name)
+                        if node is succ:
+                            break
+                        node, link = parents[node]
+                    path.reverse()
+                    return path
+                if succ not in state:
+                    state[succ] = "active"
+                    parents[succ] = (info, signal.name)
+                    stack.append((succ, iter(successors[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[info] = "done"
+                stack.pop()
+    raise AssertionError("no cycle found among cyclic remainder")

@@ -1,0 +1,491 @@
+"""Batched replay of the :class:`GlobalPowerMonitor` hot path.
+
+The monitor's per-cycle method (activity sampling, four macromodel
+evaluations, FSM step, ledger charge) dominates interpreted runtime.
+In compiled mode the engine replaces the monitor's slot in the emitted
+rising-edge function with a *recorder* that appends one tuple of raw
+committed signal values per cycle; :meth:`MonitorBatch.flush` then
+replays the accumulated cycles in one pass before control returns to
+the caller.
+
+Bit-identity is the contract, not an aspiration:
+
+* integer work (Hamming distances via ``np.bitwise_count``, ones
+  counts, mode classification) is vectorized — integers are exact;
+* every floating-point expression reproduces the *operation order* of
+  the scalar code (constant subexpressions are pre-folded exactly as
+  Python's left-associative evaluation folds them; NumPy elementwise
+  float64 ops round identically to CPython float ops);
+* sequential float accumulators (ledger totals, per-instruction and
+  per-response energy, per-master chargeback) are replayed by an
+  in-order Python loop — float addition is not associative, so they
+  are never vectorized;
+* cycles whose recorded values *would* make the live monitor raise
+  (corrupted ``HRESP``/``HTRANS`` codes, an out-of-range bus owner)
+  are never batched: the recorder flushes and runs the live monitor so
+  the error — and the torn state it leaves — is byte-identical;
+* values NumPy cannot hold (beyond int64) make the replay fall back to
+  :meth:`_flush_py`, a pure-Python replay that calls the very same
+  model methods the live monitor calls.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:          # pragma: no cover - numpy is baked in
+    _np = None
+
+from ..power.instructions import BusMode, instruction_name
+from ..power.ledger import InstructionStats
+from ..power.monitors import GlobalPowerMonitor
+
+#: Fixed mode encoding used only inside the batch.
+_MODES = (BusMode.IDLE, BusMode.IDLE_HO, BusMode.READ, BusMode.WRITE)
+_MODE_CODE = {mode: code for code, mode in enumerate(_MODES)}
+_INSTR = tuple(instruction_name(src, dst) for src in _MODES
+               for dst in _MODES)
+_RESP_NAMES = ("OKAY", "ERROR", "RETRY", "SPLIT")
+
+#: Signal widths above this cannot be masked inside int64 arrays.
+_MAX_NP_WIDTH = 62
+
+#: Recorder rows buffered before an automatic flush.  Bounds batch
+#: memory on arbitrarily long runs (a row is one tuple per cycle);
+#: flush points are invisible to the replayed state, so the cap only
+#: trades peak memory against per-flush numpy overhead.
+_FLUSH_ROWS = 4096
+
+
+def batchable(monitor):
+    """Static eligibility: can *monitor* be batch-replayed at all?
+
+    Requires the stock :class:`GlobalPowerMonitor` (exact type — a
+    subclass may override anything), the paper's four-block
+    configuration (no clock tree / clock gating), non-negative model
+    coefficients (so the ledger's negative-energy guard can never
+    fire) and signal widths an int64 can mask.
+    """
+    if type(monitor) is not GlobalPowerMonitor:
+        return False
+    if monitor._clock_tree_energy is not None or \
+            monitor.clock_gate is not None:
+        return False
+    signals = (monitor._m2s_out.signals + monitor._s2m_out.signals
+               + monitor._arb_in.signals)
+    if any(signal.width > _MAX_NP_WIDTH for signal in signals):
+        return False
+    m2s, s2m = monitor.m2s_model, monitor.s2m_model
+    dec, arb = monitor.decoder_model, monitor.arbiter_model
+    coeffs = (
+        m2s.path_coeff, m2s.select_coeff, m2s.output_coeff,
+        s2m.path_coeff, s2m.select_coeff, s2m.output_coeff,
+        dec.input_coeff, dec.output_coeff,
+        arb.request_coeff, arb.handover_coeff,
+        m2s.params.half_cv2, m2s.params.c_pd, m2s.params.c_o,
+        m2s.params.c_clk,
+    )
+    if any(coeff < 0 for coeff in coeffs):
+        return False
+    if dec.n_inputs > _MAX_NP_WIDTH:
+        return False
+    return True
+
+
+class MonitorBatch:
+    """Recorder + replayer for one :class:`GlobalPowerMonitor`."""
+
+    def __init__(self, monitor):
+        if not batchable(monitor):
+            raise ValueError("monitor %r is not batchable" % monitor.name)
+        self.monitor = monitor
+        bus = monitor.bus
+        self._rows = []
+        # Column layout: the three activity groups' signals in their
+        # sample order, then owner / pending grant / data-phase select.
+        self.columns = (monitor._m2s_out.signals
+                        + monitor._s2m_out.signals
+                        + monitor._arb_in.signals
+                        + (bus.hmaster, bus.arbiter._grant_idx,
+                           bus.s2m_mux.dsel))
+        self._n_m2s = len(monitor._m2s_out.signals)
+        self._n_s2m = len(monitor._s2m_out.signals)
+        self.recorder = self._make_recorder()
+
+    # -- recording -----------------------------------------------------
+
+    def _make_recorder(self):
+        """Emit the per-cycle recording closure.
+
+        The closure is generated source so every signal is a free
+        variable bound once — the per-cycle cost is slot loads and one
+        tuple append.  Cycles that would make the live monitor raise
+        (invalid response/transfer codes, out-of-range owner) divert
+        to it instead, after flushing, so failure behaviour is exact.
+        """
+        monitor = self.monitor
+        bus = monitor.bus
+        names = []
+        namespace = {
+            "_append": self._rows.append,
+            "_rows": self._rows,
+            "_cap": _FLUSH_ROWS,
+            "_flush": self.flush,
+            "_live": monitor._on_clk,
+            "_nm": len(monitor.master_energy),
+        }
+        for index, signal in enumerate(self.columns):
+            namespace["_s%d" % index] = signal
+        resp_index = self._n_m2s + 1          # hresp within s2m group
+        owner_index = len(self.columns) - 3   # bus.hmaster
+        for index in range(len(self.columns)):
+            if index == 0:
+                names.append("_vt")
+            elif index == resp_index:
+                names.append("_vr")
+            elif index == owner_index:
+                names.append("_vo")
+            else:
+                names.append("_s%d._value" % index)
+        source = (
+            "def _rec():\n"
+            "    _vt = _s0._value\n"
+            "    _vr = _s%d._value\n"
+            "    _vo = _s%d._value\n"
+            "    if (_vt > 3 or _vt < 0 or _vr > 3 or _vr < 0\n"
+            "            or _vo >= _nm or _vo < -_nm):\n"
+            "        _flush()\n"
+            "        _live()\n"
+            "        return\n"
+            "    _append((%s))\n"
+            "    if len(_rows) >= _cap:\n"
+            "        _flush()\n" % (resp_index, owner_index,
+                                    ", ".join(names))
+        )
+        code = compile(source, "<repro.compiled.monitor-recorder>", "exec")
+        exec(code, namespace)
+        return namespace["_rec"]
+
+    @property
+    def pending(self):
+        """Number of recorded, not yet replayed cycles."""
+        return len(self._rows)
+
+    # -- replay --------------------------------------------------------
+
+    def flush(self):
+        """Replay every recorded cycle into the monitor, in order."""
+        rows = self._rows
+        if not rows:
+            return
+        if _np is not None:
+            try:
+                arr = _np.array(rows, dtype=_np.int64)
+            except OverflowError:
+                arr = None
+            if arr is not None:
+                try:
+                    self._flush_np(arr)
+                except OverflowError:
+                    # a stored previous value beyond int64; nothing
+                    # was mutated yet (the numpy phase is pure)
+                    self._flush_py(rows)
+                rows.clear()
+                return
+        self._flush_py(rows)
+        rows.clear()
+
+    # -- numpy replay --------------------------------------------------
+
+    def _activity_np(self, activity, cols, base, count):
+        """Pure compute phase for one activity group.
+
+        Returns ``(per_cycle_total, per_signal_hd, ones, lasts)``; the
+        caller applies the mutations only after every group computed,
+        so an OverflowError (huge stored value) leaves no torn state.
+        """
+        total = _np.zeros(count, dtype=_np.int64)
+        hds = []
+        ones = []
+        lasts = []
+        for offset, signal in enumerate(activity.signals):
+            values = cols[base + offset]
+            prev = _np.empty_like(values)
+            prev[0] = activity._stored[signal]     # may overflow int64
+            prev[1:] = values[:-1]
+            mask = (1 << signal.width) - 1
+            hd = _np.bitwise_count((prev ^ values) & mask) \
+                .astype(_np.int64)
+            total += hd
+            hds.append(int(hd.sum()))
+            ones.append(int(_np.bitwise_count(values & mask)
+                            .astype(_np.int64).sum()))
+            lasts.append(int(values[-1]))
+        return total, hds, ones, lasts
+
+    def _apply_activity(self, activity, result, count):
+        _, hds, ones, lasts = result
+        changes = 0
+        for offset, signal in enumerate(activity.signals):
+            activity._stored[signal] = lasts[offset]
+            activity._transitions_per_signal[signal] += hds[offset]
+            activity._ones_accumulator[signal] += ones[offset]
+            changes += hds[offset]
+        activity._bit_changes += changes
+        activity.samples_taken += count
+
+    def _flush_np(self, arr):
+        monitor = self.monitor
+        count = arr.shape[0]
+        cols = arr.T
+        n_m2s, n_s2m = self._n_m2s, self._n_s2m
+        owner_col = len(self.columns) - 3
+
+        # ---- pure compute phase (exact integers) ----
+        m2s = self._activity_np(monitor._m2s_out, cols, 0, count)
+        s2m = self._activity_np(monitor._s2m_out, cols, n_m2s, count)
+        arb = self._activity_np(monitor._arb_in, cols, n_m2s + n_s2m,
+                                count)
+
+        htrans = cols[0]
+        haddr = cols[1]
+        hwrite = cols[2]
+        hresp = cols[n_m2s + 1]
+        owner = cols[owner_col]
+        grant = cols[owner_col + 1]
+        dsel = cols[owner_col + 2]
+
+        prev_owner = _np.empty_like(owner)
+        prev_owner[0] = monitor._prev_owner        # may overflow int64
+        prev_owner[1:] = owner[:-1]
+        handover = owner != prev_owner
+        parked = owner == monitor.bus.config.default_master
+        ho_flag = handover | (grant != owner) | parked
+
+        shift = monitor._decoder_shift
+        prev_haddr = _np.empty_like(haddr)
+        prev_haddr[0] = monitor._prev_haddr        # may overflow int64
+        prev_haddr[1:] = haddr[:-1]
+        dec_mask = (1 << monitor.decoder_model.n_inputs) - 1
+        hd_dec = _np.bitwise_count(
+            ((prev_haddr >> shift) ^ (haddr >> shift)) & dec_mask
+        ).astype(_np.int64)
+
+        prev_dsel = _np.empty_like(dsel)
+        prev_dsel[0] = monitor._prev_dsel          # may overflow int64
+        prev_dsel[1:] = dsel[:-1]
+        hd_dsel = _np.bitwise_count((prev_dsel ^ dsel) & 0xFF) \
+            .astype(_np.int64)
+
+        transfer = (htrans == 2) | (htrans == 3)
+        writes = transfer & (hwrite != 0)
+        modes = _np.where(transfer, _np.where(hwrite != 0, 3, 2),
+                          _np.where(ho_flag, 1, 0))
+
+        # ---- energies: same float64 ops in the same order ----
+        params = monitor.params
+        hv, cpd, co = params.half_cv2, params.c_pd, params.c_o
+        m2s_m, s2m_m = monitor.m2s_model, monitor.s2m_model
+        dec_m, arb_m = monitor.decoder_model, monitor.arbiter_model
+
+        hd_sel = handover.astype(_np.int64)        # hd_owner_code
+        t = m2s[0]
+        e_m2s = hv * (cpd * (m2s_m.path_coeff * t
+                             + m2s_m.select_coeff * hd_sel)
+                      + (m2s_m.output_coeff * co) * t)
+        t = s2m[0]
+        e_s2m = hv * (cpd * (s2m_m.path_coeff * t
+                             + s2m_m.select_coeff * hd_dsel)
+                      + (s2m_m.output_coeff * co) * t)
+        e_dec = hv * ((dec_m.input_coeff * cpd) * hd_dec
+                      + _np.where(hd_dec >= 1,
+                                  (dec_m.output_coeff * 1) * co,
+                                  (dec_m.output_coeff * 0) * co))
+        arb_idle = hv * params.c_clk * arb_m.n_flops
+        e_arb = arb_idle + (hv * cpd * arb_m.request_coeff) * arb[0]
+        e_arb = _np.where(
+            handover,
+            e_arb + hv * (cpd * arb_m.handover_coeff + co * 2.0),
+            e_arb)
+
+        # ---- apply integer state (order-independent sums) ----
+        self._apply_activity(monitor._m2s_out, m2s, count)
+        self._apply_activity(monitor._s2m_out, s2m, count)
+        self._apply_activity(monitor._arb_in, arb, count)
+        monitor.decode_hd_total += int(hd_dec.sum())
+        monitor.decode_change_count += int(_np.count_nonzero(hd_dec))
+        monitor.dsel_hd_total += int(hd_dsel.sum())
+        monitor.handover_total += int(_np.count_nonzero(handover))
+        monitor.transfer_cycles += int(_np.count_nonzero(transfer))
+        monitor.write_cycles += int(_np.count_nonzero(writes))
+        monitor._prev_haddr = int(haddr[-1])
+        monitor._prev_owner = int(owner[-1])
+        monitor._prev_dsel = int(dsel[-1])
+
+        # ---- sequential float accumulators, strictly in order ----
+        self._accumulate(
+            count, modes.tolist(), e_m2s.tolist(), e_s2m.tolist(),
+            e_dec.tolist(), e_arb.tolist(), hresp.tolist(),
+            owner.tolist())
+
+    def _accumulate(self, count, modes, l_m2s, l_s2m, l_dec, l_arb,
+                    resps, owners):
+        """The in-order scalar tail of the replay.
+
+        Reproduces ``PowerFsm.step`` → ``EnergyLedger.charge_cycle``
+        plus the monitor's per-master chargeback for every cycle, with
+        float additions in exactly the live order.
+        """
+        monitor = self.monitor
+        fsm = monitor.fsm
+        ledger = fsm.ledger
+        blocks = ledger.block_energy
+        b_m2s = blocks.get("M2S", 0.0)
+        b_s2m = blocks.get("S2M", 0.0)
+        b_dec = blocks.get("DEC", 0.0)
+        b_arb = blocks.get("ARB", 0.0)
+        total = ledger.total_energy
+        master_energy = monitor.master_energy
+        instructions = ledger.instructions
+        stats_by_code = [None] * 16
+        resp_by_code = [None] * 4
+        resp_order = []
+        prev = _MODE_CODE[fsm.state]
+
+        for index in range(count):
+            e0 = l_m2s[index]
+            e1 = l_s2m[index]
+            e2 = l_dec[index]
+            e3 = l_arb[index]
+            # charge_cycle: cycle_total = 0.0 then += per block, in
+            # the energies dict's M2S, S2M, DEC, ARB insertion order
+            cycle = e0 + e1
+            cycle = cycle + e2
+            cycle = cycle + e3
+            b_m2s = b_m2s + e0
+            b_s2m = b_s2m + e1
+            b_dec = b_dec + e2
+            b_arb = b_arb + e3
+            mode = modes[index]
+            code = prev * 4 + mode
+            stats = stats_by_code[code]
+            if stats is None:
+                name = _INSTR[code]
+                stats = instructions.get(name)
+                if stats is None:
+                    stats = instructions[name] = InstructionStats()
+                stats_by_code[code] = stats
+            stats.count += 1
+            stats.energy += cycle
+            resp = resps[index]
+            acc = resp_by_code[resp]
+            if acc is None:
+                acc = ledger.response_energy.get(_RESP_NAMES[resp], 0.0)
+                resp_order.append(resp)
+            resp_by_code[resp] = acc + cycle
+            total = total + cycle
+            # master_energy[owner] += sum(energies.values()) — the
+            # same four adds from 0, so it equals the cycle total
+            master_energy[owners[index]] += cycle
+            prev = mode
+
+        blocks["M2S"] = b_m2s
+        blocks["S2M"] = b_s2m
+        blocks["DEC"] = b_dec
+        blocks["ARB"] = b_arb
+        ledger.total_energy = total
+        ledger.cycles += count
+        for resp in resp_order:
+            ledger.response_energy[_RESP_NAMES[resp]] = resp_by_code[resp]
+        fsm.state = _MODES[prev]
+        fsm.cycles += count
+
+    # -- pure-Python replay (reference / fallback) ---------------------
+
+    def _flush_py(self, rows):
+        """Replay *rows* without NumPy.
+
+        This is the reference implementation: it performs the exact
+        statements of :meth:`GlobalPowerMonitor._on_clk`, reading the
+        recorded values instead of live signals and calling the very
+        same model/FSM methods, so it is bit-identical by construction.
+        It is also the fallback when values exceed int64.
+        """
+        from ..power.hamming import hamming
+        from ..power.instructions import classify_mode
+        from ..power.ledger import (BLOCK_ARB, BLOCK_DEC, BLOCK_M2S,
+                                    BLOCK_S2M)
+
+        monitor = self.monitor
+        bus = monitor.bus
+        n_m2s, n_s2m = self._n_m2s, self._n_s2m
+        owner_col = len(self.columns) - 3
+        groups = ((monitor._m2s_out, 0), (monitor._s2m_out, n_m2s),
+                  (monitor._arb_in, n_m2s + n_s2m))
+        for row in rows:
+            totals = []
+            for activity, base in groups:
+                group_total = 0
+                stored = activity._stored
+                for offset, signal in enumerate(activity.signals):
+                    new = row[base + offset]
+                    old = stored[signal]
+                    distance = 0 if new == old else \
+                        hamming(old, new, width=signal.width)
+                    stored[signal] = new
+                    activity._transitions_per_signal[signal] += distance
+                    activity._ones_accumulator[signal] += bin(
+                        new & ((1 << signal.width) - 1)).count("1")
+                    group_total += distance
+                activity._bit_changes += group_total
+                activity.samples_taken += 1
+                totals.append(group_total)
+            m2s_total, s2m_total, arb_total = totals
+
+            owner = row[owner_col]
+            handover_done = owner != monitor._prev_owner
+            grant_pending = row[owner_col + 1] != owner
+            parked = owner == bus.config.default_master
+            monitor._prev_owner = owner
+
+            haddr = row[1]
+            hd_decode = hamming(
+                monitor._prev_haddr >> monitor._decoder_shift,
+                haddr >> monitor._decoder_shift,
+                width=monitor.decoder_model.n_inputs)
+            monitor._prev_haddr = haddr
+
+            dsel = row[owner_col + 2]
+            hd_dsel = hamming(monitor._prev_dsel, dsel, width=8)
+            monitor._prev_dsel = dsel
+
+            hd_owner_code = 1 if handover_done else 0
+            monitor.decode_hd_total += hd_decode
+            if hd_decode:
+                monitor.decode_change_count += 1
+            monitor.dsel_hd_total += hd_dsel
+            if handover_done:
+                monitor.handover_total += 1
+            htrans = row[0]
+            if htrans in (2, 3):
+                monitor.transfer_cycles += 1
+                if row[2]:
+                    monitor.write_cycles += 1
+
+            energies = {
+                BLOCK_M2S: monitor.m2s_model.energy(
+                    hd_in=m2s_total, hd_sel=hd_owner_code,
+                    hd_out=m2s_total),
+                BLOCK_S2M: monitor.s2m_model.energy(
+                    hd_in=s2m_total, hd_sel=hd_dsel,
+                    hd_out=s2m_total),
+                BLOCK_DEC: monitor.decoder_model.energy(hd_decode),
+                BLOCK_ARB: monitor.arbiter_model.energy(
+                    arb_total, handover_done),
+            }
+            mode = classify_mode(
+                htrans, row[2],
+                handover=handover_done or grant_pending or parked)
+            monitor.fsm.step(0, mode, energies,
+                             response=_RESP_NAMES[row[n_m2s + 1]])
+            monitor.master_energy[owner] += sum(energies.values())

@@ -133,12 +133,15 @@ class FaultRunResult:
                  baseline_energy_per_txn=0.0, detail="",
                  traceback=None, spec=None, fingerprint=None,
                  attempts=1, wall_time_s=0.0, metrics=None,
-                 coverage=None, tier="cycle"):
+                 coverage=None, tier="cycle", engine="interpreted"):
         self.scenario = scenario
         self.fault = fault
         self.outcome = outcome
         #: Execution tier the run used (``"cycle"`` or ``"tlm"``).
         self.tier = tier
+        #: Kernel engine a cycle-tier run requested (``"interpreted"``,
+        #: ``"compiled"`` or ``"auto"``); bit-identical either way.
+        self.engine = engine
         self.completed = completed
         self.failed = failed
         self.aborted = aborted
@@ -195,6 +198,7 @@ class FaultRunResult:
             "scenario": self.scenario,
             "fault": self.fault,
             "tier": self.tier,
+            "engine": self.engine,
             "outcome": self.outcome,
             "completed": self.completed,
             "failed": self.failed,
@@ -230,7 +234,8 @@ class FaultRunResult:
             "energy_per_txn_j": "energy_per_txn",
             "baseline_energy_per_txn_j": "baseline_energy_per_txn",
         }
-        known = ("scenario", "fault", "tier", "outcome", "completed",
+        known = ("scenario", "fault", "tier", "engine", "outcome",
+                 "completed",
                  "failed", "aborted", "watchdog_events", "recoveries",
                  "violations", "rules_tripped", "recovery_compliant",
                  "detail", "traceback", "spec", "fingerprint",
@@ -377,6 +382,8 @@ def result_from_execution(scenario, fault, system, outcome, spec=None,
         scenario=scenario, fault=fault, outcome=outcome.outcome,
         tier=getattr(spec, "tier", "cycle") if spec is not None
         else "cycle",
+        engine=getattr(spec, "engine", "interpreted")
+        if spec is not None else "interpreted",
         completed=outcome.completed or 0, failed=outcome.failed or 0,
         aborted=outcome.aborted or 0,
         watchdog_events=outcome.watchdog_events or 0,
@@ -399,7 +406,8 @@ def enumerate_campaign(scenarios, faults, seed=1, duration_us=20.0,
                        slave_index=0, trigger_after=16, retry_limit=8,
                        retry_backoff=2, hready_timeout=16,
                        retry_budget=6, split_timeout=64, recover=True,
-                       check_protocol="record", tier="cycle"):
+                       check_protocol="record", tier="cycle",
+                       engine="interpreted"):
     """Enumerate every campaign cell as a :class:`CampaignRun`.
 
     Each cell (the per-scenario fault-free baseline plus one run per
@@ -429,7 +437,7 @@ def enumerate_campaign(scenarios, faults, seed=1, duration_us=20.0,
                 hready_timeout=hready_timeout,
                 retry_budget=retry_budget, split_timeout=split_timeout,
                 recover=recover, check_protocol=check_protocol,
-                tier=tier,
+                tier=tier, engine=engine,
             )
             runs.append(CampaignRun("%s/%s" % (scenario, fault),
                                     scenario, fault, spec))
@@ -443,7 +451,8 @@ def run_fault_campaign(scenarios=("portable-audio-player",
                        trigger_after=16, retry_limit=8, retry_backoff=2,
                        hready_timeout=16, retry_budget=6,
                        split_timeout=64, recover=True,
-                       check_protocol="record", tier="cycle", jobs=1,
+                       check_protocol="record", tier="cycle",
+                       engine="interpreted", jobs=1,
                        timeout=None, journal=None, resume=False,
                        checkpoint_dir=None, checkpoint_interval=1000,
                        executor_config=None):
@@ -474,6 +483,12 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         identically on both tiers, so the same campaign can be
         surveyed fast at transaction level and confirmed
         cycle-accurately.
+    engine:
+        Kernel engine for cycle-tier runs (``"interpreted"``,
+        ``"compiled"`` or ``"auto"`` — see
+        :class:`repro.replay.RunSpec.ENGINES`).  Both engines produce
+        bit-identical trajectories; the journal records the engine so
+        resumed campaigns stay self-describing.
     jobs, timeout, journal, resume:
         Supervised-executor knobs (see :mod:`repro.exec`): worker
         process count (1 = in-process serial), per-run wall-clock
@@ -501,7 +516,7 @@ def run_fault_campaign(scenarios=("portable-audio-player",
         retry_limit=retry_limit, retry_backoff=retry_backoff,
         hready_timeout=hready_timeout, retry_budget=retry_budget,
         split_timeout=split_timeout, recover=recover,
-        check_protocol=check_protocol, tier=tier,
+        check_protocol=check_protocol, tier=tier, engine=engine,
     )
     config = executor_config
     if config is None:

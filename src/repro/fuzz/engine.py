@@ -105,6 +105,12 @@ class FuzzConfig:
         re-simulating the common prefix.  Corpus evolution stays
         bit-identical to a cold campaign — the probe's coverage state
         is checkpointed along with the simulation.
+    engine:
+        Kernel engine stamped into the seed genomes (mutation
+        preserves it), so a whole campaign can run on the compiled
+        engine — see :class:`repro.replay.RunSpec.ENGINES`.  Either
+        engine yields bit-identical outcomes and coverage, so corpus
+        evolution is engine-independent.
     """
 
     def __init__(self, budget=100, seed=1, jobs=1, timeout=None,
@@ -112,7 +118,8 @@ class FuzzConfig:
                  batch_size=8, shrink=True, min_shrink_duration_us=0.5,
                  reproducer_dir=None, coverage_out=None,
                  max_sim_us=None, max_energy_j=None,
-                 wall_budget_s=None, resume=False, warm_start=False):
+                 wall_budget_s=None, resume=False, warm_start=False,
+                 engine="interpreted"):
         self.budget = max(1, int(budget))
         self.seed = int(seed)
         self.jobs = max(1, int(jobs))
@@ -130,6 +137,7 @@ class FuzzConfig:
         self.wall_budget_s = wall_budget_s
         self.resume = resume
         self.warm_start = warm_start
+        self.engine = engine
 
 
 class FuzzReport:
@@ -403,7 +411,8 @@ class FuzzCampaign:
     def _seed_batch(self):
         """Generation-0 genomes: one clean run per scenario."""
         specs = [campaign_spec(scenario, "none", seed=self.config.seed,
-                               duration_us=self.config.duration_us)
+                               duration_us=self.config.duration_us,
+                               engine=self.config.engine)
                  for scenario in self.config.scenarios]
         specs.extend(self.config.seed_specs)
         return [(entry_id_for(spec), spec, None, None)

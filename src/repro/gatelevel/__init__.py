@@ -40,10 +40,12 @@ from .synth import (
     synth_one_hot_decoder,
     synth_priority_arbiter,
 )
+from .vectorized import BatchResult, run_batch
 
 __all__ = [
     "AND2",
     "BUF",
+    "BatchResult",
     "BlifError",
     "load_blif",
     "read_blif",
@@ -77,6 +79,7 @@ __all__ = [
     "hamming_int",
     "int_to_bits",
     "mux_reference",
+    "run_batch",
     "synth_mux",
     "synth_one_hot_decoder",
     "synth_priority_arbiter",

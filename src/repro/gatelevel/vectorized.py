@@ -1,0 +1,188 @@
+"""Batched (NumPy-vectorized) gate-level switching simulation.
+
+The scalar :class:`~repro.gatelevel.simulate.GateLevelSimulator`
+evaluates one vector at a time with a Python dict lookup per cell pin —
+fine for protocol work, but macromodel characterisation sweeps apply
+thousands of vectors to the same netlist.  :func:`run_batch` evaluates
+a whole vector batch in one pass: every net becomes a ``uint8`` column
+of length *N* and every cell one NumPy bitwise expression, so the
+per-cell interpreter cost is paid once per *batch* instead of once per
+*vector*.
+
+Exactness contract:
+
+* **toggle counts are exact integers** — a toggle is a value
+  inequality between consecutive settled states, computed on the full
+  0/1 column including the simulator's carried-over state, identical
+  to the scalar sweep by construction;
+* **energies agree to float tolerance only** (``np.isclose``): the
+  scalar path accumulates ``½CV²`` charges in cell-evaluation order
+  within each step, the batched path sums per-net subtotals — float
+  addition is not associative, so the two orders differ in the last
+  ulps.  Callers that need the scalar ledger byte-for-byte must use
+  the scalar simulator;
+* the simulator's end-of-batch state (``values``, ``toggle_counts``,
+  ``total_toggles``, ``steps``) is identical to the scalar sweep, so
+  scalar and batched stepping can be freely interleaved.
+
+Scope: combinational netlists only (the paper's decoder and
+multiplexer blocks).  Flip-flops create a cross-vector recurrence that
+would serialize the batch, so netlists with DFFs — the arbiter FSM —
+raise :class:`ValueError`; characterise those with the scalar
+simulator.  Cell types outside the stock library evaluate through a
+per-cell ``np.frompyfunc`` fallback (correct, but without the
+vectorized fast path).
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:          # pragma: no cover - numpy is baked in
+    _np = None
+
+from .gates import int_to_bits
+
+#: Vectorized cell evaluators for the stock library, by cell name.
+#: Each maps ``uint8`` 0/1 arrays to a ``uint8`` 0/1 array with the
+#: same truth table as the scalar ``fn``.
+_VECTOR_FNS = {
+    "INV": lambda a: 1 - a,
+    "BUF": lambda a: a.copy(),
+    "AND2": lambda a, b: a & b,
+    "OR2": lambda a, b: a | b,
+    "NAND2": lambda a, b: 1 - (a & b),
+    "NOR2": lambda a, b: 1 - (a | b),
+    "XOR2": lambda a, b: a ^ b,
+    "XNOR2": lambda a, b: 1 - (a ^ b),
+}
+
+
+class BatchResult:
+    """Aggregate outcome of one vectorized batch.
+
+    ``per_vector_toggles`` is an ``int64`` array of length *N* holding
+    the exact toggle count of each applied vector — the batch-level
+    activity profile the scalar path would report step by step.
+    """
+
+    __slots__ = ("toggles", "energy", "steps", "per_vector_toggles")
+
+    def __init__(self, toggles, energy, steps, per_vector_toggles):
+        self.toggles = toggles
+        self.energy = energy
+        self.steps = steps
+        self.per_vector_toggles = per_vector_toggles
+
+    def __repr__(self):
+        return "BatchResult(steps=%d, toggles=%d, energy=%.3e J)" % (
+            self.steps, self.toggles, self.energy,
+        )
+
+
+def _input_matrix(simulator, vectors):
+    """Decode *vectors* (``step_ints``-style bus dicts) into an
+    ``(N, n_inputs)`` 0/1 matrix with carried-forward state.
+
+    Reproduces the scalar sweep's semantics exactly: a bus absent from
+    a vector keeps its previous value, and each vector sees the state
+    left by the one before it.
+    """
+    netlist = simulator.netlist
+    by_name = {}
+    for net in netlist.inputs:
+        base = net.name.split("[")[0]
+        by_name.setdefault(base, []).append(net)
+    index_of = {id(net): pos for pos, net in enumerate(netlist.inputs)}
+    current = [simulator.values[net] for net in netlist.inputs]
+    matrix = _np.empty((len(vectors), len(current)), dtype=_np.uint8)
+    for row, vector in enumerate(vectors):
+        for name, value in vector.items():
+            nets = by_name.get(name)
+            if nets is None:
+                raise KeyError("no input bus named %r" % name)
+            if len(nets) == 1 and "[" not in nets[0].name:
+                current[index_of[id(nets[0])]] = 1 if value else 0
+            else:
+                for net, bit in zip(nets, int_to_bits(value, len(nets))):
+                    current[index_of[id(net)]] = bit
+        matrix[row] = current
+    return matrix
+
+
+def _vector_fn(cell):
+    """The batched evaluator for *cell* (library fast path or a
+    ``frompyfunc`` wrap of the scalar truth function)."""
+    fast = _VECTOR_FNS.get(cell.cell_type.name)
+    if fast is not None:
+        return fast
+    wrapped = _np.frompyfunc(cell.cell_type.fn, cell.cell_type.n_inputs, 1)
+    return lambda *cols: wrapped(*cols).astype(_np.uint8)
+
+
+def run_batch(simulator, vectors):
+    """Apply *vectors* to *simulator* in one vectorized pass.
+
+    Parameters
+    ----------
+    simulator:
+        A :class:`~repro.gatelevel.simulate.GateLevelSimulator` whose
+        netlist is purely combinational.
+    vectors:
+        Sequence of bus-value dicts, each shaped like the keyword
+        arguments of
+        :meth:`~repro.gatelevel.simulate.GateLevelSimulator.step_ints`.
+
+    Returns a :class:`BatchResult`; the simulator's committed state
+    afterwards matches a scalar ``step_ints`` sweep exactly (see the
+    module docstring for the energy tolerance).
+    """
+    if _np is None:            # pragma: no cover - numpy is baked in
+        raise RuntimeError("NumPy is required for batched simulation")
+    netlist = simulator.netlist
+    if netlist.dffs:
+        raise ValueError(
+            "netlist %r has %d flip-flop(s); the batched path is "
+            "combinational-only (sequential state serializes the "
+            "batch) — use the scalar simulator" % (netlist.name,
+                                                   len(netlist.dffs)))
+    vectors = list(vectors)
+    count = len(vectors)
+    if not count:
+        return BatchResult(0, 0.0, 0,
+                           _np.zeros(0, dtype=_np.int64))
+
+    matrix = _input_matrix(simulator, vectors)
+    columns = {}
+    for pos, net in enumerate(netlist.inputs):
+        columns[id(net)] = matrix[:, pos]
+    for cell in simulator._order:
+        fn = _vector_fn(cell)
+        columns[id(cell.output)] = fn(*(columns[id(net)]
+                                        for net in cell.inputs))
+
+    scale = simulator._energy_scale
+    values = simulator.values
+    toggle_counts = simulator.toggle_counts
+    per_vector = _np.zeros(count, dtype=_np.int64)
+    total_toggles = 0
+    energy = 0.0
+    for net in netlist.nets:
+        column = columns.get(id(net))
+        if column is None:
+            continue            # undriven wire: never changes
+        flips = _np.empty(count, dtype=bool)
+        flips[0] = column[0] != values[net]
+        _np.not_equal(column[1:], column[:-1], out=flips[1:])
+        net_toggles = int(_np.count_nonzero(flips))
+        if net_toggles:
+            per_vector += flips
+            total_toggles += net_toggles
+            toggle_counts[net] += net_toggles
+            energy += net.capacitance * scale * net_toggles
+        values[net] = int(column[-1])
+
+    simulator.total_energy += energy
+    simulator.total_toggles += total_toggles
+    simulator.steps += count
+    return BatchResult(total_toggles, energy, count, per_vector)

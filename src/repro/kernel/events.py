@@ -45,6 +45,15 @@ class Event:
     def __repr__(self):
         return "Event(%r)" % self.name
 
+    @property
+    def static_waiters(self):
+        """Tuple of processes statically sensitive to this event.
+
+        Exposed for static analysis (the :mod:`repro.compiled` graph
+        extractor); the kernel itself keeps using the internal list.
+        """
+        return tuple(self._static_waiters)
+
     def notify(self, delay=None):
         """Schedule this event to fire.
 
@@ -119,13 +128,25 @@ class MethodProcess(Process):
     completion, may read and write signals, but cannot suspend.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "sensitivity", "writes")
 
-    def __init__(self, sim, name, fn, sensitivity, initialize=True):
+    def __init__(self, sim, name, fn, sensitivity, initialize=True,
+                 writes=None):
         super().__init__(sim, name)
         self.fn = fn
-        for trigger in sensitivity:
-            _as_event(trigger)._add_static(self)
+        #: Resolved static sensitivity, kept as a reusable tuple of
+        #: :class:`Event` objects instead of being discarded into the
+        #: events' waiter lists — static analysis reads it back and the
+        #: tuple is shared rather than rebuilt per query.
+        events = tuple(_as_event(trigger) for trigger in sensitivity)
+        self.sensitivity = events
+        #: Optional declared write set: the signals this process may
+        #: write, as a tuple, or ``None`` when undeclared.  Purely
+        #: metadata — the kernel never enforces it; the compiler
+        #: requires it for combinational processes.
+        self.writes = tuple(writes) if writes is not None else None
+        for event in events:
+            event._add_static(self)
         if initialize:
             sim._make_runnable(self)
 

@@ -47,13 +47,20 @@ class Module:
         """Create a signal scoped under this module's name."""
         return Signal(self.sim, self.name + "." + name, init=init, width=width)
 
-    def method(self, fn, sensitivity, name=None, initialize=True):
-        """Register a combinational method process on this module."""
+    def method(self, fn, sensitivity, name=None, initialize=True,
+               writes=None):
+        """Register a combinational method process on this module.
+
+        ``writes`` optionally declares the signals the process may
+        write (static-analysis metadata, see
+        :meth:`~repro.kernel.simulator.Simulator.add_method`).
+        """
         return self.sim.add_method(
             fn,
             sensitivity,
             name=self.name + "." + (name or fn.__name__),
             initialize=initialize,
+            writes=writes,
         )
 
     def thread(self, generator_fn, name=None):

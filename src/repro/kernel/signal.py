@@ -80,7 +80,17 @@ class Signal:
 
         Writing the already-committed value is a no-op and produces no
         ``changed`` event, matching SystemC's ``sc_signal`` behaviour.
+        Such writes are dropped before staging (RTL-style models
+        re-drive unchanged outputs every cycle; ~85% of all writes in
+        the paper testbench), *except* while an injection hook is armed
+        — the hook must see every commit so stateful fault models keep
+        their timing.
         """
+        if value == self._next and (self._staged or self._inject is None):
+            # Unstaged + no hook implies _value == _next (every commit
+            # path restores that invariant), so staging would commit a
+            # no-change value: skip the update-queue round trip.
+            return
         self._next = value
         if not self._staged:
             self._staged = True
@@ -114,7 +124,12 @@ class Signal:
     def clear_injection(self):
         """Remove the injection hook and recommit the healthy value."""
         self._inject = None
-        self.write(self._next)
+        # Stage unconditionally: the committed value may still hold the
+        # corrupted level, which write()'s no-op fast path cannot see
+        # (it compares against the *driven* value).
+        if not self._staged:
+            self._staged = True
+            self.sim._schedule_update(self)
 
     @property
     def injected(self):
@@ -136,6 +151,25 @@ class Signal:
         if self._negedge is None:
             self._negedge = Event(self.sim, self.name + ".negedge")
         return self._negedge
+
+    @property
+    def watchers(self):
+        """Tuple of registered commit watchers (sensitivity metadata).
+
+        Exposed for static analysis; registration stays through
+        :meth:`add_watcher`.
+        """
+        return tuple(self._watchers or ())
+
+    def edge_events(self):
+        """The ``(posedge, negedge)`` events created so far.
+
+        Unlike the :attr:`posedge` / :attr:`negedge` properties this
+        never *creates* an event — entries are ``None`` when no process
+        ever sensitised on that edge, which is exactly what a static
+        analyser needs to know.
+        """
+        return self._posedge, self._negedge
 
     def add_watcher(self, callback):
         """Register ``callback(signal, old, new)`` to run on each commit.

@@ -65,6 +65,12 @@ class Simulator:
         self._observer = None
         self._events = []
         self._state_providers = {}
+        self._scheduler = None
+        # Reused evaluate/update-phase lists: `_settle_deltas`
+        # ping-pongs the runnable list and the update queue with these
+        # spares instead of allocating fresh lists every delta cycle.
+        self._spare_runnable = []
+        self._spare_updates = []
 
     # -- construction hooks (used by Signal / Module / processes) ------
 
@@ -103,13 +109,18 @@ class Simulator:
         """Create a standalone :class:`Event` owned by this simulator."""
         return Event(self, name)
 
-    def add_method(self, fn, sensitivity, name=None, initialize=True):
+    def add_method(self, fn, sensitivity, name=None, initialize=True,
+                   writes=None):
         """Register a method process (combinational callback).
 
         ``sensitivity`` is an iterable of events or signals; the process
         re-runs whenever any of them fires.  With ``initialize=True``
         (the default, as in SystemC) the process also runs once at
         simulation start so outputs reach a consistent initial state.
+        ``writes`` optionally declares the set of signals the process
+        may write — metadata the kernel ignores but the
+        :mod:`repro.compiled` static analyser requires to levelize
+        combinational processes.
         """
         process = MethodProcess(
             self,
@@ -117,6 +128,7 @@ class Simulator:
             fn,
             sensitivity,
             initialize=initialize,
+            writes=writes,
         )
         self._processes.append(process)
         return process
@@ -129,6 +141,35 @@ class Simulator:
         )
         self._processes.append(process)
         return process
+
+    # -- pluggable scheduler ---------------------------------------------
+
+    def install_scheduler(self, scheduler):
+        """Install an alternative run-loop implementation.
+
+        *scheduler* exposes ``run(sim, until, max_time_steps,
+        wall_clock_budget)`` and is offered every :meth:`run` call; it
+        either executes the run (mutating the simulator state exactly
+        as the built-in loop would, returning ``True``) or declines by
+        returning ``False``, in which case the built-in delta-cycle
+        loop handles the call.  At most one scheduler is installed at a
+        time; the :mod:`repro.compiled` engine is the only current
+        implementation.
+        """
+        if self._scheduler is not None:
+            raise SimulationError(
+                "a scheduler is already installed; uninstall it first")
+        self._scheduler = scheduler
+
+    def uninstall_scheduler(self, scheduler=None):
+        """Remove the installed scheduler (no-op when none matches)."""
+        if scheduler is None or self._scheduler is scheduler:
+            self._scheduler = None
+
+    @property
+    def scheduler(self):
+        """The installed alternative scheduler, or None."""
+        return self._scheduler
 
     # -- observation -----------------------------------------------------
 
@@ -396,56 +437,98 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
+        if self._scheduler is not None:
+            self._running = True
+            try:
+                handled = self._scheduler.run(
+                    self, until, max_time_steps, wall_clock_budget)
+            finally:
+                self._running = False
+            if handled:
+                return self.now
         self._running = True
         self._stop_requested = False
-        steps = 0
-        wall_start = (_time.monotonic()
-                      if wall_clock_budget is not None else None)
         try:
-            while True:
-                self._settle_deltas()
-                if self._stop_requested:
-                    break
-                if wall_start is not None:
-                    elapsed = _time.monotonic() - wall_start
-                    if elapsed > wall_clock_budget:
-                        raise WallClockDeadlineError(
-                            elapsed, wall_clock_budget, self.now)
-                if not self._timed:
-                    break
-                next_time = self._timed[0][0]
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                self.now = next_time
-                self._dispatch_timed(next_time)
-                steps += 1
-                if max_time_steps is not None and steps >= max_time_steps:
-                    break
+            return self._run_interpreted(
+                until, max_time_steps, wall_clock_budget)
         finally:
             self._running = False
+
+    def _run_interpreted(self, until, max_time_steps, wall_clock_budget,
+                         wall_start=None):
+        """The built-in delta-cycle loop.
+
+        Callers hold ``_running`` and have already cleared
+        ``_stop_requested``.  An installed scheduler that has to hand a
+        partially executed run back (e.g. on encountering a timed entry
+        it cannot handle) calls this directly, passing its own
+        ``wall_start`` so the wall-clock budget spans the whole run.
+        """
+        steps = 0
+        if wall_start is None and wall_clock_budget is not None:
+            wall_start = _time.monotonic()
+        # Hot loop: bind the per-iteration lookups once.  ``_timed`` is
+        # only rebound by restore(), which cannot run while running.
+        settle = self._settle_deltas
+        dispatch = self._dispatch_timed
+        timed = self._timed
+        monotonic = _time.monotonic
+        while True:
+            settle()
+            if self._stop_requested:
+                break
+            if wall_start is not None:
+                elapsed = monotonic() - wall_start
+                if elapsed > wall_clock_budget:
+                    raise WallClockDeadlineError(
+                        elapsed, wall_clock_budget, self.now)
+            if not timed:
+                break
+            next_time = timed[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.now = next_time
+            dispatch(next_time)
+            steps += 1
+            if max_time_steps is not None and steps >= max_time_steps:
+                break
         return self.now
 
     # -- scheduler internals ---------------------------------------------
 
     def _settle_deltas(self):
-        """Run evaluate/update cycles until no process is runnable."""
+        """Run evaluate/update cycles until no process is runnable.
+
+        The runnable list and the update queue each ping-pong between
+        two reused list objects (no per-delta list allocation), and the
+        update phase is inlined so the per-delta cost is a handful of
+        local operations plus the process bodies themselves.
+        """
         deltas = 0
         observer = self._observer
+        max_deltas = self.max_delta_cycles
+        spare = self._spare_runnable
+        if spare is self._runnable:  # torn state after a process error
+            spare = []
+        update_spare = self._spare_updates
+        if update_spare is self._update_queue:
+            update_spare = []
         while self._runnable or self._update_queue or self._delta_events:
             deltas += 1
             self.delta_count += 1
-            if deltas > self.max_delta_cycles:
+            if deltas > max_deltas:
                 suspects = sorted({process.name
                                    for process in self._runnable
                                    if not process.terminated})
                 raise DeltaCycleLimitError(
                     "exceeded %d delta cycles at %s; probable zero-delay "
                     "combinational loop"
-                    % (self.max_delta_cycles, format_time(self.now)),
+                    % (max_deltas, format_time(self.now)),
                     process_names=suspects,
                 )
-            runnable, self._runnable = self._runnable, []
+            runnable = self._runnable
+            self._runnable = next_runnable = spare
             for process in runnable:
                 if process.terminated:
                     continue
@@ -462,9 +545,25 @@ class Simulator:
                     raise
                 except Exception as exc:
                     raise ProcessError(process.name, exc) from exc
-            self._update_phase()
+            runnable.clear()
+            spare = runnable
+            # Update phase, inlined from _update_phase: commit staged
+            # signals, then fire delta-notified events.
+            updates = self._update_queue
+            if updates:
+                self._update_queue = update_spare
+                for signal in updates:
+                    signal._commit(next_runnable)
+                updates.clear()
+                update_spare = updates
+            if self._delta_events:
+                fired, self._delta_events = self._delta_events, []
+                for event in fired:
+                    event._fire(next_runnable)
             if self._stop_requested:
                 break
+        self._spare_runnable = spare
+        self._spare_updates = update_spare
         if observer is not None and deltas:
             observer.on_settle(self.now, deltas)
 

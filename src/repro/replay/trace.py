@@ -115,20 +115,34 @@ class RunSpec:
     __slots__ = ("scenario", "seed", "duration_us", "faults",
                  "retry_limit", "retry_backoff", "watchdog",
                  "watchdog_kwargs", "check_protocol", "protocol_kwargs",
-                 "injector_seed", "scenario_kwargs", "tier")
+                 "injector_seed", "scenario_kwargs", "tier", "engine")
 
     #: Execution tiers a spec may name.
     TIERS = ("cycle", "tlm")
+
+    #: Kernel engines a cycle-tier spec may request.  ``interpreted``
+    #: is the delta-cycle kernel; ``compiled`` requires
+    #: :mod:`repro.compiled` to accept the design (a
+    #: ``CompileError`` becomes a ``crashed`` outcome); ``auto`` tries
+    #: the compiled engine and silently falls back on ``CompileError``.
+    #: Either engine produces the bit-identical trajectory, so the
+    #: fingerprint contract is engine-independent.
+    ENGINES = ("interpreted", "compiled", "auto")
 
     def __init__(self, scenario, seed=1, duration_us=20.0, faults=(),
                  retry_limit=8, retry_backoff=2, watchdog=True,
                  watchdog_kwargs=None, check_protocol="record",
                  protocol_kwargs=None, injector_seed=0,
-                 scenario_kwargs=None, tier="cycle"):
+                 scenario_kwargs=None, tier="cycle",
+                 engine="interpreted"):
         if tier not in self.TIERS:
             raise ValueError("unknown execution tier %r (expected %s)"
                              % (tier, " or ".join(self.TIERS)))
+        if engine not in self.ENGINES:
+            raise ValueError("unknown engine %r (expected %s)"
+                             % (engine, ", ".join(self.ENGINES)))
         self.tier = tier
+        self.engine = engine
         self.scenario = scenario
         self.seed = seed
         self.duration_us = duration_us
@@ -173,6 +187,7 @@ class RunSpec:
             "injector_seed": self.injector_seed,
             "scenario_kwargs": dict(self.scenario_kwargs),
             "tier": self.tier,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -403,6 +418,19 @@ def execute(spec, wall_clock_budget=None, instrument=None,
             system.sim.register_state("fault_injector", injector)
         if instrument is not None:
             instrument(system)
+        if spec.engine != "interpreted":
+            # Engine selection is additive: the compiled engine wraps
+            # ``sim.run`` and reproduces the interpreted trajectory
+            # bit-exactly (declining back to the interpreted loop when
+            # a run uses features it does not model), so the outcome
+            # fingerprint and digest stream are engine-independent.
+            from ..compiled import CompileError, compile_system
+            try:
+                compile_system(system)
+            except CompileError:
+                if spec.engine == "compiled":
+                    raise    # contained below as a ``crashed`` outcome
+                # engine == "auto": run interpreted
         if checkpoint is None:
             if warm_start is not None:
                 _run_warm(system, warm_start, us(spec.duration_us),
@@ -458,7 +486,8 @@ def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,
                   slave_index=0, trigger_after=16, retry_limit=8,
                   retry_backoff=2, hready_timeout=16, retry_budget=6,
                   split_timeout=64, recover=True,
-                  check_protocol="record", tier="cycle"):
+                  check_protocol="record", tier="cycle",
+                  engine="interpreted"):
     """The :class:`RunSpec` of one campaign run — same parameters and
     defaults as :func:`repro.faults.run_fault_campaign`, so a recorded
     campaign cell re-executes identically."""
@@ -478,6 +507,7 @@ def campaign_spec(scenario, fault="none", seed=1, duration_us=20.0,
         },
         check_protocol=check_protocol,
         tier=tier,
+        engine=engine,
     )
 
 

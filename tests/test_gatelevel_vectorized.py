@@ -1,0 +1,179 @@
+"""Vectorized gate-level batch vs the scalar sweep it must reproduce.
+
+``run_batch`` promises exact integer toggle counts and identical
+end-of-batch simulator state (values, per-net toggle counts, totals,
+step counter); only the accumulated *energy* is allowed to differ in
+the last float ulps (summation order).  Each test drives a scalar
+``step_ints`` sweep and a batched run of the same vectors side by side.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gatelevel import (
+    AND2,
+    BatchResult,
+    CellType,
+    GateLevelSimulator,
+    Netlist,
+    run_batch,
+    synth_mux,
+    synth_one_hot_decoder,
+)
+
+
+def _mux_vectors(count, seed=0):
+    """A deterministic address/data stimulus for ``synth_mux(4, 8)``."""
+    vectors = []
+    state = seed
+    for index in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        vectors.append({"s": state & 3,
+                        "d0": (state >> 2) & 0xFF,
+                        "d1": (state >> 10) & 0xFF,
+                        "d2": (state >> 18) & 0xFF,
+                        "d3": (~state >> 3) & 0xFF})
+    return vectors
+
+
+def _scalar_sweep(simulator, vectors):
+    """Apply *vectors* one at a time; return per-step toggle counts."""
+    return [simulator.step_ints(**vector).toggles for vector in vectors]
+
+
+def _assert_same_state(batch_sim, scalar_sim):
+    assert batch_sim.total_toggles == scalar_sim.total_toggles
+    assert batch_sim.steps == scalar_sim.steps
+    for net in batch_sim.netlist.nets:
+        peer = _net_by_name(scalar_sim.netlist, net.name)
+        assert batch_sim.values[net] == scalar_sim.values[peer], net.name
+        assert (batch_sim.toggle_counts[net]
+                == scalar_sim.toggle_counts[peer]), net.name
+    assert np.isclose(batch_sim.total_energy, scalar_sim.total_energy,
+                      rtol=1e-12)
+
+
+def _net_by_name(netlist, name):
+    for net in netlist.nets:
+        if net.name == name:
+            return net
+    raise KeyError(name)
+
+
+class TestBatchEqualsScalar:
+    def test_mux_sweep_matches_exactly(self):
+        vectors = _mux_vectors(300)
+        scalar_sim = GateLevelSimulator(synth_mux(4, 8))
+        per_step = _scalar_sweep(scalar_sim, vectors)
+
+        batch_sim = GateLevelSimulator(synth_mux(4, 8))
+        result = run_batch(batch_sim, vectors)
+
+        assert isinstance(result, BatchResult)
+        assert result.steps == len(vectors)
+        assert result.toggles == sum(per_step)
+        assert result.per_vector_toggles.tolist() == per_step
+        _assert_same_state(batch_sim, scalar_sim)
+
+    def test_absent_bus_keeps_previous_value(self):
+        # step_ints semantics: a bus missing from a vector holds its
+        # last value — the batch must carry state the same way.
+        vectors = [{"s": 1, "d0": 0xAA, "d1": 0x55,
+                    "d2": 0, "d3": 0xFF},
+                   {"d1": 0x54},           # s/d0/d2/d3 held
+                   {"s": 3},
+                   {}]                     # pure hold, zero toggles
+        scalar_sim = GateLevelSimulator(synth_mux(4, 8))
+        per_step = _scalar_sweep(scalar_sim, vectors)
+
+        batch_sim = GateLevelSimulator(synth_mux(4, 8))
+        result = run_batch(batch_sim, vectors)
+        assert result.per_vector_toggles.tolist() == per_step
+        _assert_same_state(batch_sim, scalar_sim)
+
+    def test_interleaves_with_scalar_stepping(self):
+        # End-of-batch state is committed state: scalar steps before
+        # and after a batch see exactly what an all-scalar run sees.
+        vectors = _mux_vectors(60, seed=7)
+        scalar_sim = GateLevelSimulator(synth_mux(4, 8))
+        _scalar_sweep(scalar_sim, vectors)
+
+        mixed_sim = GateLevelSimulator(synth_mux(4, 8))
+        _scalar_sweep(mixed_sim, vectors[:20])
+        run_batch(mixed_sim, vectors[20:50])
+        _scalar_sweep(mixed_sim, vectors[50:])
+        _assert_same_state(mixed_sim, scalar_sim)
+
+    def test_decoder_matches(self):
+        vectors = [{"a": value % 16} for value in range(40)]
+        scalar_sim = GateLevelSimulator(synth_one_hot_decoder(4))
+        per_step = _scalar_sweep(scalar_sim, vectors)
+        batch_sim = GateLevelSimulator(synth_one_hot_decoder(4))
+        result = run_batch(batch_sim, vectors)
+        assert result.per_vector_toggles.tolist() == per_step
+        _assert_same_state(batch_sim, scalar_sim)
+
+    def test_nonlibrary_cell_falls_back_to_frompyfunc(self):
+        def majority(a, b, c):
+            return 1 if (a + b + c) >= 2 else 0
+
+        MAJ3 = CellType("MAJ3", 3, majority, 2e-15)
+
+        def build():
+            nl = Netlist("maj")
+            a = nl.add_input("a")
+            b = nl.add_input("b")
+            c = nl.add_input("c")
+            m = nl.add_cell(MAJ3, [a, b, c], output_name="m")
+            nl.mark_output(nl.add_cell(AND2, [m, a], output_name="y"))
+            return nl
+
+        vectors = [{"a": i & 1, "b": (i >> 1) & 1, "c": (i >> 2) & 1}
+                   for i in range(16)]
+        scalar_sim = GateLevelSimulator(build())
+        per_step = _scalar_sweep(scalar_sim, vectors)
+        batch_sim = GateLevelSimulator(build())
+        result = run_batch(batch_sim, vectors)
+        assert result.per_vector_toggles.tolist() == per_step
+        _assert_same_state(batch_sim, scalar_sim)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.fixed_dictionaries(
+            {},
+            optional={"s": st.integers(0, 3),
+                      "d0": st.integers(0, 255),
+                      "d1": st.integers(0, 255),
+                      "d2": st.integers(0, 255),
+                      "d3": st.integers(0, 255)}),
+        min_size=1, max_size=40))
+    def test_property_random_vectors(self, vectors):
+        scalar_sim = GateLevelSimulator(synth_mux(4, 8))
+        per_step = _scalar_sweep(scalar_sim, vectors)
+        batch_sim = GateLevelSimulator(synth_mux(4, 8))
+        result = run_batch(batch_sim, vectors)
+        assert result.per_vector_toggles.tolist() == per_step
+        _assert_same_state(batch_sim, scalar_sim)
+
+
+class TestBatchEdges:
+    def test_empty_batch_is_a_noop(self):
+        sim = GateLevelSimulator(synth_mux(2, 4))
+        result = run_batch(sim, [])
+        assert (result.steps, result.toggles, result.energy) == (0, 0, 0.0)
+        assert result.per_vector_toggles.shape == (0,)
+        assert sim.steps == 0 and sim.total_toggles == 0
+
+    def test_rejects_sequential_netlists(self):
+        nl = Netlist("reg")
+        d = nl.add_input("d")
+        nl.mark_output(nl.add_dff(d, q_name="q"))
+        sim = GateLevelSimulator(nl)
+        with pytest.raises(ValueError, match="flip-flop"):
+            run_batch(sim, [{"d": 1}])
+
+    def test_unknown_bus_name_raises(self):
+        sim = GateLevelSimulator(synth_mux(2, 4))
+        with pytest.raises(KeyError, match="no input bus"):
+            run_batch(sim, [{"nonesuch": 1}])
